@@ -1,0 +1,68 @@
+// Command mse-build constructs an MSE extraction wrapper from sample
+// result pages of one search engine and writes it as JSON.
+//
+// Usage:
+//
+//	mse-build -out wrapper.json page1.html:query1+terms page2.html:query2+terms ...
+//
+// Each argument is an HTML file path, optionally followed by ":" and the
+// query terms (separated by "+") that retrieved the page.  At least two
+// sample pages are required; the paper uses five.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mse"
+)
+
+func main() {
+	out := flag.String("out", "wrapper.json", "output wrapper file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr,
+			"usage: mse-build [-out wrapper.json] page.html[:term+term...] ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var samples []mse.SamplePage
+	for _, arg := range flag.Args() {
+		path, queryPart, _ := strings.Cut(arg, ":")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal("reading %s: %v", path, err)
+		}
+		var query []string
+		if queryPart != "" {
+			query = strings.Split(queryPart, "+")
+		}
+		samples = append(samples, mse.SamplePage{HTML: string(data), Query: query})
+	}
+
+	w, err := mse.Train(samples, nil)
+	if err != nil {
+		fatal("training: %v", err)
+	}
+	data, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		fatal("encoding wrapper: %v", err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s: %d section wrappers, %d families\n",
+		*out, w.SectionCount(), w.FamilyCount())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mse-build: "+format+"\n", args...)
+	os.Exit(1)
+}

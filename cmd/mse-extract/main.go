@@ -1,0 +1,97 @@
+// Command mse-extract applies a stored MSE wrapper to result pages and
+// prints the extracted sections and records.
+//
+// Usage:
+//
+//	mse-extract -wrapper wrapper.json [-json] page.html[:term+term...] ...
+//
+// With -json the output is machine-readable; otherwise a human-readable
+// outline is printed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mse"
+)
+
+func main() {
+	wrapperPath := flag.String("wrapper", "wrapper.json", "wrapper file from mse-build")
+	asJSON := flag.Bool("json", false, "emit JSON instead of an outline")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr,
+			"usage: mse-extract [-wrapper wrapper.json] [-json] page.html[:term+term...] ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	wdata, err := os.ReadFile(*wrapperPath)
+	if err != nil {
+		fatal("reading wrapper: %v", err)
+	}
+	w, err := mse.LoadWrapper(wdata, nil)
+	if err != nil {
+		fatal("loading wrapper: %v", err)
+	}
+
+	type pageOut struct {
+		Page     string         `json:"page"`
+		Sections []*mse.Section `json:"sections"`
+	}
+	var all []pageOut
+	for _, arg := range flag.Args() {
+		path, queryPart, _ := strings.Cut(arg, ":")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal("reading %s: %v", path, err)
+		}
+		var query []string
+		if queryPart != "" {
+			query = strings.Split(queryPart, "+")
+		}
+		secs := w.Extract(string(data), query)
+		all = append(all, pageOut{Page: path, Sections: secs})
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fatal("encoding: %v", err)
+		}
+		return
+	}
+	for _, po := range all {
+		fmt.Printf("== %s: %d sections\n", po.Page, len(po.Sections))
+		for _, s := range po.Sections {
+			name := s.Heading
+			if name == "" {
+				name = "(unnamed section)"
+			}
+			fmt.Printf("  section %q: %d records\n", name, len(s.Records))
+			for i, r := range s.Records {
+				first := ""
+				if len(r.Lines) > 0 {
+					first = r.Lines[0]
+				}
+				fmt.Printf("    %2d. %s\n", i+1, first)
+				for _, l := range r.Lines[1:] {
+					fmt.Printf("        %s\n", l)
+				}
+			}
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mse-extract: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command mse-serve runs an extraction service over stored MSE wrappers —
+// the deployment shape of the paper's metasearch application.
+//
+// Usage:
+//
+//	mse-serve -addr :8080 -wrappers dir/
+//
+// Every *.json file in the wrappers directory is loaded as one engine
+// wrapper named after the file (sans extension).  Endpoints:
+//
+//	GET  /healthz
+//	GET  /engines
+//	POST /extract?engine=NAME&q=term+term   (body: result page HTML)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mse/internal/core"
+	"mse/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("wrappers", "wrappers", "directory of <engine>.json wrapper files")
+	flag.Parse()
+
+	reg := serve.NewRegistry(core.DefaultOptions())
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		log.Fatalf("mse-serve: reading %s: %v", *dir, err)
+	}
+	loaded := 0
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(*dir, ent.Name()))
+		if err != nil {
+			log.Fatalf("mse-serve: reading %s: %v", ent.Name(), err)
+		}
+		name := strings.TrimSuffix(ent.Name(), ".json")
+		if err := reg.Add(name, data); err != nil {
+			log.Fatalf("mse-serve: %v", err)
+		}
+		loaded++
+	}
+	if loaded == 0 {
+		log.Fatalf("mse-serve: no wrapper files in %s", *dir)
+	}
+	fmt.Printf("mse-serve: %d engines loaded (%s); listening on %s\n",
+		loaded, strings.Join(reg.Names(), ", "), *addr)
+	log.Fatal(http.ListenAndServe(*addr, reg.Handler()))
+}

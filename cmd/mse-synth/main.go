@@ -1,0 +1,65 @@
+// Command mse-synth materializes the synthetic search-engine test bed to
+// disk: one directory per engine with its result pages and ground truth.
+//
+// Usage:
+//
+//	mse-synth -dir testbed -engines 119 -multi 38 -queries 10 -seed 2006
+//
+// Each engine directory contains pageN.html, pageN.query (query terms,
+// one per line) and pageN.truth.json (the ground truth).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mse/internal/synth"
+)
+
+func main() {
+	dir := flag.String("dir", "testbed", "output directory")
+	engines := flag.Int("engines", 119, "number of engines")
+	multi := flag.Int("multi", 38, "number of multi-section engines")
+	queries := flag.Int("queries", 10, "result pages per engine")
+	seed := flag.Int64("seed", 2006, "master seed")
+	flag.Parse()
+
+	cfg := synth.Config{Seed: *seed, Engines: *engines, MultiSection: *multi, Queries: *queries}
+	bed := synth.GenerateTestbed(cfg)
+	pages := 0
+	for _, e := range bed {
+		edir := filepath.Join(*dir, fmt.Sprintf("engine%03d", e.ID))
+		if err := os.MkdirAll(edir, 0o755); err != nil {
+			fatal("creating %s: %v", edir, err)
+		}
+		for q := 0; q < cfg.Queries; q++ {
+			gp := e.Page(q)
+			base := filepath.Join(edir, fmt.Sprintf("page%d", q))
+			if err := os.WriteFile(base+".html", []byte(gp.HTML), 0o644); err != nil {
+				fatal("writing page: %v", err)
+			}
+			if err := os.WriteFile(base+".query",
+				[]byte(strings.Join(gp.Query, "\n")+"\n"), 0o644); err != nil {
+				fatal("writing query: %v", err)
+			}
+			truth, err := json.MarshalIndent(gp.Truth, "", "  ")
+			if err != nil {
+				fatal("encoding truth: %v", err)
+			}
+			if err := os.WriteFile(base+".truth.json", truth, 0o644); err != nil {
+				fatal("writing truth: %v", err)
+			}
+			pages++
+		}
+	}
+	fmt.Printf("wrote %d engines (%d pages) under %s\n", len(bed), pages, *dir)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mse-synth: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package mse_test
+
+import (
+	"fmt"
+
+	"mse"
+	"mse/internal/synth"
+)
+
+// Example demonstrates the full train-then-extract workflow on a synthetic
+// search engine.  A real integration would fill SamplePage.HTML with pages
+// fetched from a live engine.
+func Example() {
+	engine := synth.NewEngine(99, 1, true)
+
+	var samples []mse.SamplePage
+	for q := 0; q < 5; q++ {
+		page := engine.Page(q)
+		samples = append(samples, mse.SamplePage{HTML: page.HTML, Query: page.Query})
+	}
+	w, err := mse.Train(samples, nil)
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+
+	unseen := engine.Page(7)
+	sections := w.Extract(unseen.HTML, unseen.Query)
+	fmt.Printf("extracted %d sections\n", len(sections))
+	for _, s := range sections {
+		fmt.Printf("section %q with %d records\n", s.Heading, len(s.Records))
+	}
+	// Output:
+	// extracted 3 sections
+	// section "Images" with 2 records
+	// section "Videos" with 3 records
+	// section "Articles" with 2 records
+}
+
+// ExampleWrapper_Validate shows the wrapper-maintenance check a metasearch
+// operator runs periodically: if a component engine redesigns its result
+// pages, the report turns unhealthy and the wrapper gets retrained.
+func ExampleWrapper_Validate() {
+	engine := synth.NewEngine(99, 2, false)
+	var samples []mse.SamplePage
+	for q := 0; q < 5; q++ {
+		page := engine.Page(q)
+		samples = append(samples, mse.SamplePage{HTML: page.HTML, Query: page.Query})
+	}
+	w, err := mse.Train(samples, nil)
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+
+	fresh := []mse.SamplePage{}
+	for q := 5; q < 10; q++ {
+		page := engine.Page(q)
+		fresh = append(fresh, mse.SamplePage{HTML: page.HTML, Query: page.Query})
+	}
+	report := w.Validate(fresh)
+	fmt.Println("healthy:", report.Healthy(0.5))
+
+	redesigned := []mse.SamplePage{
+		{HTML: "<html><body><main>totally new layout</main></body></html>"},
+		{HTML: "<html><body><main>another new page</main></body></html>"},
+	}
+	report = w.Validate(redesigned)
+	fmt.Println("after redesign healthy:", report.Healthy(0.5))
+	// Output:
+	// healthy: true
+	// after redesign healthy: false
+}

@@ -1,0 +1,112 @@
+// Metasearch: the paper's headline application.  A metasearch engine
+// forwards one query to several component search engines, extracts the
+// search result records from each engine's result page with a
+// per-engine MSE wrapper, and merges them — while the section-record
+// relationship lets it treat organic results and sponsored links
+// differently.
+//
+// Run with:
+//
+//	go run ./examples/metasearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"mse"
+	"mse/internal/synth"
+)
+
+// componentEngine is one search engine participating in the metasearch,
+// with its trained wrapper.
+type componentEngine struct {
+	engine  *synth.Engine
+	wrapper *mse.Wrapper
+}
+
+// mergedResult is one record in the merged result list.
+type mergedResult struct {
+	Engine  string
+	Section string
+	Title   string
+	Link    string
+	// rank is the record's position within its section (lower is better);
+	// the merger interleaves by rank, a common metasearch strategy.
+	rank int
+}
+
+func main() {
+	// Phase 1 — setup: train a wrapper for every component engine from
+	// five sample pages each.  In production this happens once, offline,
+	// and the wrappers are stored as JSON.
+	var components []*componentEngine
+	for _, id := range []int{3, 11, 17} {
+		e := synth.NewEngine(2006, id, true)
+		var samples []mse.SamplePage
+		for q := 0; q < 5; q++ {
+			p := e.Page(q)
+			samples = append(samples, mse.SamplePage{HTML: p.HTML, Query: p.Query})
+		}
+		w, err := mse.Train(samples, nil)
+		if err != nil {
+			log.Fatalf("training wrapper for %s: %v", e.Name, err)
+		}
+		fmt.Printf("trained wrapper for %-24s (%d sections, %d families)\n",
+			e.Name, w.SectionCount(), w.FamilyCount())
+		components = append(components, &componentEngine{engine: e, wrapper: w})
+	}
+
+	// Phase 2 — query time: "send" the query to each engine (here: page 9
+	// of each synthetic engine) and extract records from all sections.
+	fmt.Printf("\nmerged results:\n")
+	var merged []mergedResult
+	sponsored := 0
+	for _, c := range components {
+		page := c.engine.Page(9)
+		for _, sec := range c.wrapper.Extract(page.HTML, page.Query) {
+			// The section-record relationship at work: sponsored or
+			// shopping sections are kept out of the organic ranking.
+			isAd := strings.Contains(sec.Heading, "Sponsored") ||
+				strings.Contains(sec.Heading, "Shopping")
+			for i, r := range sec.Records {
+				if len(r.Lines) == 0 {
+					continue
+				}
+				if isAd {
+					sponsored++
+					continue
+				}
+				link := ""
+				if len(r.Links) > 0 {
+					link = r.Links[0]
+				}
+				title := mse.TitleOf(r) // data annotation: rank/date stripped
+				if title == "" {
+					title = r.Lines[0]
+				}
+				merged = append(merged, mergedResult{
+					Engine:  c.engine.Name,
+					Section: sec.Heading,
+					Title:   title,
+					Link:    link,
+					rank:    i,
+				})
+			}
+		}
+	}
+	// Interleave by per-engine rank.
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].rank < merged[j].rank })
+
+	for i, r := range merged {
+		if i >= 15 {
+			fmt.Printf("  ... and %d more\n", len(merged)-i)
+			break
+		}
+		fmt.Printf("%2d. [%s / %s] %s\n", i+1, r.Engine, r.Section, r.Title)
+	}
+	fmt.Printf("\n%d organic records merged, %d sponsored records filtered out\n",
+		len(merged), sponsored)
+}

@@ -1,0 +1,117 @@
+// Monitor: track a product across the result pages of a shopping-style
+// search engine over time.  The wrapper is built once and stored as JSON;
+// each monitoring cycle loads it, extracts the price-bearing sections and
+// diffs them against the previous cycle — the kind of long-running
+// shopping-agent workload the paper's introduction motivates.
+//
+// Run with:
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"regexp"
+	"strings"
+
+	"mse"
+	"mse/internal/synth"
+)
+
+var priceRe = regexp.MustCompile(`\$\d+\.\d{2}`)
+
+// observation is one record sighting with an extracted price.
+type observation struct {
+	Section string
+	Title   string
+	Price   string
+}
+
+func main() {
+	// Pick a synthetic engine whose schema includes price lines.
+	var engine *synth.Engine
+	for id := 0; id < 119 && engine == nil; id++ {
+		e := synth.NewEngine(2006, id, id < 38)
+		for _, ss := range e.Schema.Sections {
+			if ss.Format.HasPrice {
+				engine = e
+				break
+			}
+		}
+	}
+	if engine == nil {
+		log.Fatal("no price-bearing engine in the test bed")
+	}
+	fmt.Printf("monitoring %s\n", engine.Name)
+
+	// One-time setup: train and serialize the wrapper.
+	var samples []mse.SamplePage
+	for q := 0; q < 5; q++ {
+		p := engine.Page(q)
+		samples = append(samples, mse.SamplePage{HTML: p.HTML, Query: p.Query})
+	}
+	trained, err := mse.Train(samples, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stored, err := trained.MarshalJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored wrapper: %d bytes of JSON\n\n", len(stored))
+
+	// Monitoring cycles: each cycle restores the wrapper from storage and
+	// processes the latest result page.
+	var previous map[string]observation
+	for cycle, pageIdx := range []int{6, 7, 8, 9} {
+		w, err := mse.LoadWrapper(stored, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		page := engine.Page(pageIdx)
+		current := map[string]observation{}
+		for _, sec := range w.Extract(page.HTML, page.Query) {
+			for _, r := range sec.Records {
+				text := strings.Join(r.Lines, " ")
+				price := priceRe.FindString(text)
+				if price == "" || len(r.Lines) == 0 {
+					continue
+				}
+				current[r.Lines[0]] = observation{
+					Section: sec.Heading,
+					Title:   r.Lines[0],
+					Price:   price,
+				}
+			}
+		}
+		fmt.Printf("cycle %d (page %d): %d priced records", cycle+1, pageIdx, len(current))
+		if previous == nil {
+			fmt.Println(" (baseline)")
+		} else {
+			appeared, gone := 0, 0
+			for k := range current {
+				if _, ok := previous[k]; !ok {
+					appeared++
+				}
+			}
+			for k := range previous {
+				if _, ok := current[k]; !ok {
+					gone++
+				}
+			}
+			fmt.Printf("; %d new, %d disappeared\n", appeared, gone)
+		}
+		for _, o := range current {
+			fmt.Printf("    [%s] %-55s %s\n", o.Section, truncate(o.Title, 55), o.Price)
+		}
+		previous = current
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,63 @@
+// Quickstart: build an MSE wrapper from five sample result pages of one
+// (synthetic) search engine, then extract all dynamic sections and their
+// records from an unseen result page.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mse"
+	"mse/internal/synth"
+)
+
+func main() {
+	// A synthetic search engine stands in for a live one: it produces
+	// result pages with multiple dynamic sections, a static template and
+	// semi-dynamic decorations, exactly like the engines of the paper's
+	// test bed.
+	engine := synth.NewEngine(2006, 7, true)
+	fmt.Printf("engine: %s (%d possible sections, %s layout)\n\n",
+		engine.Name, len(engine.Schema.Sections), engine.Schema.Style)
+
+	// Step 1: collect sample result pages for a few different queries.
+	var samples []mse.SamplePage
+	for q := 0; q < 5; q++ {
+		page := engine.Page(q)
+		samples = append(samples, mse.SamplePage{HTML: page.HTML, Query: page.Query})
+		fmt.Printf("sample %d: query %v, %d sections, %d records\n",
+			q, page.Query, len(page.Truth.Sections), page.Truth.TotalRecords())
+	}
+
+	// Step 2: train the wrapper (the paper's MSE pipeline, Steps 1-9).
+	w, err := mse.Train(samples, nil)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	fmt.Printf("\nwrapper: %d section wrappers, %d section families\n",
+		w.SectionCount(), w.FamilyCount())
+
+	// Step 3: extract from an unseen result page.
+	test := engine.Page(8)
+	fmt.Printf("\nextracting from an unseen page (query %v):\n", test.Query)
+	for _, s := range w.Extract(test.HTML, test.Query) {
+		name := s.Heading
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Printf("\nsection %q — %d records\n", name, len(s.Records))
+		for i, r := range s.Records {
+			fmt.Printf("  %2d. %s\n", i+1, r.Lines[0])
+			for _, l := range r.Lines[1:] {
+				fmt.Printf("      %s\n", l)
+			}
+			if len(r.Links) > 0 {
+				fmt.Printf("      -> %s\n", r.Links[0])
+			}
+		}
+	}
+}

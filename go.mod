@@ -1,0 +1,3 @@
+module mse
+
+go 1.22

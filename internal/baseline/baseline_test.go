@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/core"
+	"mse/internal/eval"
+	"mse/internal/synth"
+)
+
+func TestMDRFindsRepeatingRegions(t *testing.T) {
+	html := `<body><h3>Results</h3><table>
+	<tr><td><a href="/1">Alpha</a><br>snippet a</td></tr>
+	<tr><td><a href="/2">Betaa</a><br>snippet b</td></tr>
+	<tr><td><a href="/3">Gamma</a><br>snippet c</td></tr>
+	</table></body>`
+	m := NewMDR()
+	secs := m.Extract(html, nil)
+	if len(secs) == 0 {
+		t.Fatalf("MDR found nothing")
+	}
+	found := false
+	for _, s := range secs {
+		if len(s.Records) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("MDR missed the 3-record region")
+	}
+}
+
+func TestMDRCannotSkipStaticRepeats(t *testing.T) {
+	// MDR has no dynamic/static differentiation: repeating footer links
+	// are reported as a data region — the weakness §7 points out.
+	html := `<body>
+	<div><a href="/f1">Footer One</a></div>
+	<div><a href="/f2">Footer Two</a></div>
+	<div><a href="/f3">Footer Three</a></div>
+	</body>`
+	m := NewMDR()
+	secs := m.Extract(html, nil)
+	if len(secs) == 0 {
+		t.Fatalf("MDR should report the static repeat (it cannot know better)")
+	}
+}
+
+func TestMDRNeedsTwoRecords(t *testing.T) {
+	html := `<body><div><a href="/1">Only One</a><br>snippet</div></body>`
+	m := NewMDR()
+	for _, s := range m.Extract(html, nil) {
+		if strings.Contains(s.Records[0].Lines[0], "Only One") && len(s.Records) < 2 {
+			t.Fatalf("MDR reported a single-record section")
+		}
+	}
+}
+
+func TestSingleSectionKeepsOnlyOne(t *testing.T) {
+	gp := synth.NewEngine(3, 0, true).Page(1)
+	s := NewSingleSection()
+	secs := s.Extract(gp.HTML, gp.Query)
+	if len(secs) > 1 {
+		t.Fatalf("single-section baseline returned %d sections", len(secs))
+	}
+}
+
+func TestBaselinesImplementExtractor(t *testing.T) {
+	var _ eval.Extractor = NewMDR()
+	var _ eval.Extractor = NewSingleSection()
+}
+
+func TestMSEBeatsBaselinesOnMultiSection(t *testing.T) {
+	engines := synth.GenerateTestbed(synth.Config{Seed: 2006, Engines: 12, MultiSection: 12, Queries: 10})
+	cfg := func(newEx func() eval.Extractor) eval.RunConfig {
+		return eval.RunConfig{SampleCount: 5, PageCount: 10, NewExtractor: newEx}
+	}
+	mseRes := eval.Run(engines, cfg(func() eval.Extractor { return eval.NewMSE(core.DefaultOptions()) }))
+	mdrRes := eval.Run(engines, cfg(func() eval.Extractor { return NewMDR() }))
+	vntRes := eval.Run(engines, cfg(func() eval.Extractor { return NewSingleSection() }))
+
+	mse := mseRes.Total()
+	mdr := mdrRes.Total()
+	vnt := vntRes.Total()
+	t.Logf("MSE   recall=%.3f precision=%.3f", mse.RecallTotal(), mse.PrecisionTotal())
+	t.Logf("MDR   recall=%.3f precision=%.3f", mdr.RecallTotal(), mdr.PrecisionTotal())
+	t.Logf("ViNTs recall=%.3f precision=%.3f", vnt.RecallTotal(), vnt.PrecisionTotal())
+
+	if mse.RecallTotal() <= mdr.RecallTotal() {
+		t.Errorf("MSE recall %.3f should beat MDR %.3f", mse.RecallTotal(), mdr.RecallTotal())
+	}
+	if mse.PrecisionTotal() <= mdr.PrecisionTotal() {
+		t.Errorf("MSE precision %.3f should beat MDR %.3f", mse.PrecisionTotal(), mdr.PrecisionTotal())
+	}
+	if mse.RecallTotal() <= vnt.RecallTotal() {
+		t.Errorf("MSE recall %.3f should beat single-section %.3f", mse.RecallTotal(), vnt.RecallTotal())
+	}
+}

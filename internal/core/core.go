@@ -1,0 +1,242 @@
+// Package core implements the MSE pipeline of Section 3 of the paper: the
+// nine steps that turn a handful of sample result pages from one search
+// engine into a wrapper that extracts every dynamic section — and the
+// records within each section — from any result page of that engine.
+//
+//	step 1  render pages into content lines            (internal/layout)
+//	step 2  extract multi-record sections with MRE     (internal/mre)
+//	step 3  identify dynamic sections with DSE         (internal/dse)
+//	step 4  refine MRs and DSs against each other      (internal/refine)
+//	step 5  mine records from record-less DSs          (internal/mining)
+//	step 6  resolve section-record granularity         (internal/granularity)
+//	step 7  group section instances across pages       (internal/cluster)
+//	step 8  build a wrapper per section schema         (internal/wrapper)
+//	step 9  combine wrappers into section families     (internal/wrapper)
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"mse/internal/cluster"
+	"mse/internal/dse"
+	"mse/internal/granularity"
+	"mse/internal/htmlparse"
+	"mse/internal/layout"
+	"mse/internal/mining"
+	"mse/internal/mre"
+	"mse/internal/refine"
+	"mse/internal/sect"
+	"mse/internal/wrapper"
+)
+
+// SamplePage is one training input: the HTML of a result page and the
+// query terms that produced it.
+type SamplePage struct {
+	HTML  string
+	Query []string
+}
+
+// Options bundle the per-stage parameters.  The zero value is not usable;
+// start from DefaultOptions.
+type Options struct {
+	MRE         mre.Options
+	DSE         dse.Options
+	Refine      refine.Options
+	Mining      mining.Options
+	Granularity granularity.Options
+	Cluster     cluster.Options
+	Wrapper     wrapper.Options
+	// DisableRefine skips step 4 (ablation).
+	DisableRefine bool
+	// DisableGranularity skips step 6 (ablation).
+	DisableGranularity bool
+	// DisableFamilies skips step 9 (ablation).
+	DisableFamilies bool
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{
+		MRE:         mre.DefaultOptions(),
+		DSE:         dse.DefaultOptions(),
+		Refine:      refine.DefaultOptions(),
+		Mining:      mining.DefaultOptions(),
+		Granularity: granularity.DefaultOptions(),
+		Cluster:     cluster.DefaultOptions(),
+		Wrapper:     wrapper.DefaultOptions(),
+	}
+}
+
+// EngineWrapper is the full extraction wrapper for one search engine: an
+// ordered list of section wrappers plus the section families built from
+// them.
+type EngineWrapper struct {
+	Wrappers []*wrapper.SectionWrapper `json:"wrappers"`
+	Families []*wrapper.Family         `json:"families,omitempty"`
+
+	opt Options
+}
+
+// Section is an extracted section; see wrapper.ExtractedSection.
+type Section = wrapper.ExtractedSection
+
+// Record is an extracted record; see wrapper.ExtractedRecord.
+type Record = wrapper.ExtractedRecord
+
+// ErrNoSamplePages is returned by BuildWrapper when fewer than two sample
+// pages are supplied; DSE needs at least a pair.
+var ErrNoSamplePages = errors.New("core: need at least two sample pages")
+
+// BuildWrapper runs the full MSE pipeline over the sample pages.
+func BuildWrapper(samples []*SamplePage, opt Options) (*EngineWrapper, error) {
+	if len(samples) < 2 {
+		return nil, ErrNoSamplePages
+	}
+	// Steps 1-6 per page (DSE works across pages).
+	pageSections, err := AnalyzePages(samples, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Step 7: group section instances into schema clusters.
+	groups := cluster.GroupInstances(pageSections, opt.Cluster)
+	// Step 8: one wrapper per group, ordered by document position.
+	sort.SliceStable(groups, func(i, j int) bool {
+		return avgStart(groups[i]) < avgStart(groups[j])
+	})
+	ws := make([]*wrapper.SectionWrapper, 0, len(groups))
+	for order, g := range groups {
+		ws = append(ws, wrapper.Build(g, pageSections, order, opt.Wrapper))
+	}
+	// Step 9: section families.
+	var fams []*wrapper.Family
+	if !opt.DisableFamilies {
+		ws, fams = wrapper.BuildFamilies(ws, opt.Wrapper)
+	}
+	return &EngineWrapper{Wrappers: ws, Families: fams, opt: opt}, nil
+}
+
+// AnalyzePages executes steps 1-6 and returns, per sample page, the final
+// refined sections with records.  It is exported for evaluation harnesses
+// that score the training-time analysis directly.
+func AnalyzePages(samples []*SamplePage, opt Options) ([]*cluster.PageSections, error) {
+	inputs := make([]*dse.PageInput, len(samples))
+	for i, sp := range samples {
+		page := layout.Render(htmlparse.Parse(sp.HTML)) // step 1
+		mrs := mre.Extract(page, opt.MRE)               // step 2
+		inputs[i] = &dse.PageInput{Page: page, Query: sp.Query, MRs: mrs}
+	}
+	dss, marks := dse.Run(inputs, opt.DSE) // step 3
+
+	out := make([]*cluster.PageSections, len(samples))
+	for i, in := range inputs {
+		var sections []*sect.Section
+		if opt.DisableRefine {
+			// Ablation: take DSs as sections and mine all of them.
+			sections = dss[i]
+		} else {
+			sections = refine.Refine(in.Page, in.MRs, dss[i], marks[i], opt.Refine) // step 4
+		}
+		for _, s := range sections { // step 5
+			if len(s.Records) == 0 {
+				mining.Mine(s, opt.Mining)
+			}
+		}
+		if !opt.DisableGranularity {
+			sections = granularity.Resolve(in.Page, sections, opt.Granularity) // step 6
+		}
+		sections = dropEmpty(sections)
+		out[i] = &cluster.PageSections{Page: in.Page, Query: in.Query, Sections: sections}
+	}
+	return out, nil
+}
+
+func dropEmpty(sections []*sect.Section) []*sect.Section {
+	out := sections[:0]
+	for _, s := range sections {
+		if s.Len() > 0 && len(s.Records) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func avgStart(g *cluster.Group) float64 {
+	sum := 0
+	for _, inst := range g.Instances {
+		sum += inst.Section.Start
+	}
+	return float64(sum) / float64(len(g.Instances))
+}
+
+// Extract applies the engine wrapper to a new result page.  query may be
+// nil when the retrieving query is unknown.  Sections are returned in page
+// order; overlapping extractions are resolved in favour of regular
+// wrappers over family matches.
+func (ew *EngineWrapper) Extract(html string, query []string) []*Section {
+	page := layout.Render(htmlparse.Parse(html))
+	return ew.ExtractFromPage(page, query)
+}
+
+// ExtractFromPage is Extract for an already rendered page.
+func (ew *EngineWrapper) ExtractFromPage(page *layout.Page, query []string) []*Section {
+	opt := ew.opt.Wrapper
+	var all []*Section
+	for _, w := range ew.Wrappers {
+		if s := w.Apply(page, query, opt); s != nil {
+			all = append(all, s)
+		}
+	}
+	for _, f := range ew.Families {
+		all = append(all, f.Apply(page, query, opt)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start < all[j].Start
+		}
+		// Regular wrappers win ties against family matches.
+		return !all[i].FromFamily && all[j].FromFamily
+	})
+	// Drop overlapping duplicates (family rediscovering a wrapped
+	// section).
+	var out []*Section
+	for _, s := range all {
+		dup := false
+		for _, kept := range out {
+			if overlapFrac(kept, s) > 0.5 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SetOptions replaces the wrapper-application options (used after loading
+// a serialized wrapper).
+func (ew *EngineWrapper) SetOptions(opt Options) { ew.opt = opt }
+
+func overlapFrac(a, b *Section) float64 {
+	lo := a.Start
+	if b.Start > lo {
+		lo = b.Start
+	}
+	hi := a.End
+	if b.End < hi {
+		hi = b.End
+	}
+	if hi <= lo {
+		return 0
+	}
+	minLen := a.End - a.Start
+	if l := b.End - b.Start; l < minLen {
+		minLen = l
+	}
+	if minLen == 0 {
+		return 0
+	}
+	return float64(hi-lo) / float64(minLen)
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mse/internal/synth"
+)
+
+var markerRe = regexp.MustCompile(`qj[a-mz]+`)
+
+func samplesFor(e *synth.Engine, from, to int) ([]*SamplePage, []*synth.GenPage) {
+	var samples []*SamplePage
+	var gps []*synth.GenPage
+	for q := from; q < to; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+		gps = append(gps, gp)
+	}
+	return samples, gps
+}
+
+func TestBuildWrapperNeedsTwoPages(t *testing.T) {
+	if _, err := BuildWrapper(nil, DefaultOptions()); err != ErrNoSamplePages {
+		t.Fatalf("err = %v, want ErrNoSamplePages", err)
+	}
+	e := synth.NewEngine(1, 0, false)
+	gp := e.Page(0)
+	_, err := BuildWrapper([]*SamplePage{{HTML: gp.HTML, Query: gp.Query}}, DefaultOptions())
+	if err != ErrNoSamplePages {
+		t.Fatalf("err = %v, want ErrNoSamplePages", err)
+	}
+}
+
+func TestPipelineSingleSectionEngine(t *testing.T) {
+	e := synth.NewEngine(2006, 50, false) // single-section engine
+	samples, _ := samplesFor(e, 0, 5)
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ew.Wrappers)+len(ew.Families) == 0 {
+		t.Fatalf("no wrappers built")
+	}
+	// Apply to an unseen test page.
+	gp := e.Page(7)
+	secs := ew.Extract(gp.HTML, gp.Query)
+	if len(secs) == 0 {
+		t.Fatalf("no sections extracted from test page")
+	}
+	// Every ground-truth record should be found in some extracted record.
+	found, total := 0, 0
+	for _, gts := range gp.Truth.Sections {
+		for _, gtr := range gts.Records {
+			total++
+			for _, s := range secs {
+				for _, r := range s.Records {
+					if strings.Contains(strings.Join(r.Lines, "\n"), gtr.Marker) {
+						found++
+						goto next
+					}
+				}
+			}
+		next:
+		}
+	}
+	if total == 0 {
+		t.Skip("test page had no records")
+	}
+	if found < total {
+		for _, s := range secs {
+			t.Logf("section %q [%d,%d) with %d records", s.Heading, s.Start, s.End, len(s.Records))
+		}
+		t.Fatalf("found %d/%d ground-truth records", found, total)
+	}
+}
+
+func TestPipelineMultiSectionEngine(t *testing.T) {
+	e := synth.NewEngine(2006, 3, true) // multi-section engine
+	samples, _ := samplesFor(e, 0, 5)
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := e.Page(8)
+	secs := ew.Extract(gp.HTML, gp.Query)
+	if len(gp.Truth.Sections) > 1 && len(secs) < 2 {
+		for _, s := range secs {
+			t.Logf("section %q [%d,%d)", s.Heading, s.Start, s.End)
+		}
+		t.Fatalf("extracted %d sections, ground truth has %d",
+			len(secs), len(gp.Truth.Sections))
+	}
+	// Section-record relationship: records from different GT sections must
+	// not share an extracted section.
+	for _, s := range secs {
+		owners := map[int]bool{}
+		for _, r := range s.Records {
+			for _, m := range markerRe.FindAllString(strings.Join(r.Lines, " "), -1) {
+				for gi, gts := range gp.Truth.Sections {
+					for _, gtr := range gts.Records {
+						if gtr.Marker == m {
+							owners[gi] = true
+						}
+					}
+				}
+			}
+		}
+		if len(owners) > 1 {
+			t.Fatalf("extracted section %q mixes records of %d ground-truth sections",
+				s.Heading, len(owners))
+		}
+	}
+}
+
+func TestPipelineRecallOverTestbedSample(t *testing.T) {
+	// Coarse end-to-end health check over a slice of the test bed: at
+	// least 80% of ground-truth records on unseen pages must be recovered
+	// inside extracted sections.
+	engines := synth.GenerateTestbed(synth.Config{Seed: 2006, Engines: 10, MultiSection: 4, Queries: 8})
+	var found, total int
+	for _, e := range engines {
+		samples, _ := samplesFor(e, 0, 5)
+		ew, err := BuildWrapper(samples, DefaultOptions())
+		if err != nil {
+			t.Fatalf("engine %d: %v", e.ID, err)
+		}
+		for q := 5; q < 8; q++ {
+			gp := e.Page(q)
+			secs := ew.Extract(gp.HTML, gp.Query)
+			joined := ""
+			for _, s := range secs {
+				for _, r := range s.Records {
+					joined += strings.Join(r.Lines, "\n") + "\n"
+				}
+			}
+			for _, gts := range gp.Truth.Sections {
+				for _, gtr := range gts.Records {
+					total++
+					if strings.Contains(joined, gtr.Marker) {
+						found++
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatalf("no ground truth records")
+	}
+	recall := float64(found) / float64(total)
+	t.Logf("record coverage on unseen pages: %d/%d = %.3f", found, total, recall)
+	if recall < 0.80 {
+		t.Fatalf("record coverage %.3f below 0.80", recall)
+	}
+}
+
+func TestEngineWrapperJSONRoundTrip(t *testing.T) {
+	e := synth.NewEngine(2006, 3, true)
+	samples, _ := samplesFor(e, 0, 5)
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored EngineWrapper
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	restored.SetOptions(DefaultOptions())
+	if len(restored.Wrappers) != len(ew.Wrappers) || len(restored.Families) != len(ew.Families) {
+		t.Fatalf("round trip changed wrapper counts")
+	}
+	// Both must extract the same sections from the same page.
+	gp := e.Page(6)
+	a := ew.Extract(gp.HTML, gp.Query)
+	b := restored.Extract(gp.HTML, gp.Query)
+	if len(a) != len(b) {
+		t.Fatalf("extraction differs after round trip: %d vs %d sections", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].End != b[i].End ||
+			len(a[i].Records) != len(b[i].Records) {
+			t.Fatalf("section %d differs after round trip", i)
+		}
+	}
+}

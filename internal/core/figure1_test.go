@@ -1,0 +1,168 @@
+package core
+
+// Reproduction of Figure 1 of the paper: the healthcentral.com result page
+// with four dynamic sections (Encyclopedia, Dr. Dean Edell, News, Peoples
+// Pharmacy), a semi-dynamic match-count line, semi-dynamic "Click Here for
+// More" markers, and records whose titles embed dates.  The test builds
+// result pages for several queries of this fictional engine and verifies
+// that MSE extracts all sections with the right records — including the
+// single-record section, which the paper stresses prior work cannot
+// handle.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// healthPage fabricates one result page of the Figure-1 engine.  sections
+// maps section name -> record titles; order fixes the section order.
+func healthPage(matches int, query string, order []string, sections map[string][]string) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><head><title>HealthCentral search</title></head><body>`)
+	fmt.Fprintf(&sb, `<div>Your search returned %d matches.</div>`, matches)
+	for _, name := range order {
+		titles, ok := sections[name]
+		if !ok || len(titles) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, `<div><b><font size="4" color="#336699">%s</font></b></div>`, name)
+		sb.WriteString(`<table>`)
+		for i, title := range titles {
+			fmt.Fprintf(&sb,
+				`<tr><td>%d. <a href="/item/%s/%d">%s --%s-- (4/10/2002 1:07:00 PM)</a><br>%s</td></tr>`,
+				i+1, name, i, title, name, title)
+		}
+		sb.WriteString(`</table>`)
+		if len(titles) >= 5 {
+			sb.WriteString(`<div><a href="/more">Click Here for More ...</a></div>`)
+		}
+	}
+	sb.WriteString(`</body></html>`)
+	return sb.String()
+}
+
+var figure1Order = []string{"Encyclopedia", "Dr. Dean Edell", "News", "Peoples Pharmacy"}
+
+func TestFigure1Extraction(t *testing.T) {
+	// Five sample pages for different queries; section presence and record
+	// counts vary with the query, as on a real engine.
+	samples := []*SamplePage{
+		{HTML: healthPage(578, "knee", figure1Order, map[string][]string{
+			"Encyclopedia":     {"Knee Injury", "Ultrasound in Obstetrics", "Lupus and Pregnancy", "Colic", "Lymphoma"},
+			"Dr. Dean Edell":   {"We Are Still Too Fat, Again"},
+			"News":             {"AMA Guides Doctors on Older Drivers", "Mental Illness Strikes Babies, Too", "Eating Pyramid Style", "Guided Lasers Help Treat Uterine Fibroids", "Panel: Cut Salt"},
+			"Peoples Pharmacy": {"Antidepressant Can Raise Cholesterol", "Another Fish Oil Tale"},
+		}), Query: []string{"knee"}},
+		{HTML: healthPage(91, "colic", figure1Order, map[string][]string{
+			"Encyclopedia":     {"Colic Basics", "Infant Care", "Sleep Patterns"},
+			"News":             {"New Colic Study Published", "Pediatric Guidelines Updated"},
+			"Peoples Pharmacy": {"Herbal Remedies Reviewed"},
+		}), Query: []string{"colic"}},
+		{HTML: healthPage(233, "lupus", figure1Order, map[string][]string{
+			"Encyclopedia":   {"Lupus Overview", "Autoimmune Disorders", "Joint Pain", "Rashes"},
+			"Dr. Dean Edell": {"Lupus Questions Answered", "More On Autoimmunity"},
+			"News":           {"Lupus Drug Trial Results"},
+		}), Query: []string{"lupus"}},
+		{HTML: healthPage(47, "salt", figure1Order, map[string][]string{
+			"Encyclopedia":     {"Sodium and Health", "Blood Pressure"},
+			"News":             {"Cut Salt Says Panel", "Thirst As A Guide", "Hydration Myths", "Salt Substitutes Tested", "Kidney Function Basics"},
+			"Peoples Pharmacy": {"Salt Tablets Reviewed", "Electrolyte Drinks Compared"},
+		}), Query: []string{"salt"}},
+		{HTML: healthPage(310, "fibroid", figure1Order, map[string][]string{
+			"Encyclopedia":   {"Uterine Fibroids", "MRI Imaging", "Laser Treatment"},
+			"Dr. Dean Edell": {"Fibroid Questions"},
+			"News":           {"Guided Lasers In Practice", "Imaging Advances"},
+		}), Query: []string{"fibroid"}},
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Extract from the Figure-1 page itself (the first sample) and from an
+	// unseen page.
+	t.Run("figure1 page", func(t *testing.T) {
+		secs := ew.Extract(samples[0].HTML, samples[0].Query)
+		want := map[string]int{
+			"Encyclopedia": 5, "Dr. Dean Edell": 1, "News": 5, "Peoples Pharmacy": 2,
+		}
+		checkSections(t, secs, want)
+	})
+
+	t.Run("unseen page", func(t *testing.T) {
+		unseen := healthPage(120, "ultrasound", figure1Order, map[string][]string{
+			"Encyclopedia":     {"Ultrasound in Obstetrics", "Prenatal Imaging", "Doppler Basics", "Safety Guidelines"},
+			"Dr. Dean Edell":   {"Ultrasound Questions"},
+			"News":             {"Imaging Study Released", "New Guidelines Issued"},
+			"Peoples Pharmacy": {"Gel Products Compared"},
+		})
+		secs := ew.Extract(unseen, []string{"ultrasound"})
+		want := map[string]int{
+			"Encyclopedia": 4, "Dr. Dean Edell": 1, "News": 2, "Peoples Pharmacy": 1,
+		}
+		checkSections(t, secs, want)
+	})
+}
+
+func checkSections(t *testing.T, secs []*Section, want map[string]int) {
+	t.Helper()
+	got := map[string]int{}
+	for _, s := range secs {
+		got[s.Heading] = len(s.Records)
+	}
+	for name, n := range want {
+		if got[name] != n {
+			for _, s := range secs {
+				t.Logf("extracted %q [%d,%d) records=%d", s.Heading, s.Start, s.End, len(s.Records))
+			}
+			t.Fatalf("section %q: %d records, want %d", name, got[name], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("extracted %d sections, want %d (%v)", len(got), len(want), got)
+	}
+}
+
+func TestFigure1SectionRecordRelationship(t *testing.T) {
+	// The records extracted under "News" must all be News records: the
+	// paper's requirement that extracted SRRs stay grouped by section.
+	samples := []*SamplePage{}
+	queries := []string{"knee", "colic", "lupus", "salt", "fibroid"}
+	for i, q := range queries {
+		sections := map[string][]string{
+			"Encyclopedia": {"E one " + q, "E two " + q, "E three " + q},
+			"News":         {"N one " + q, "N two " + q},
+		}
+		if i%2 == 0 {
+			sections["Peoples Pharmacy"] = []string{"P one " + q}
+		}
+		samples = append(samples, &SamplePage{
+			HTML:  healthPage(100+i, q, figure1Order, sections),
+			Query: []string{q},
+		})
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := ew.Extract(samples[0].HTML, samples[0].Query)
+	for _, s := range secs {
+		var wantTag string
+		switch s.Heading {
+		case "Encyclopedia":
+			wantTag = "E "
+		case "News":
+			wantTag = "N "
+		case "Peoples Pharmacy":
+			wantTag = "P "
+		default:
+			continue
+		}
+		for _, r := range s.Records {
+			if len(r.Lines) == 0 || !strings.Contains(r.Lines[0], wantTag) {
+				t.Fatalf("section %q contains foreign record %q", s.Heading, r.Lines)
+			}
+		}
+	}
+}

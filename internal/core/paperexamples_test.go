@@ -1,0 +1,160 @@
+package core
+
+// End-to-end reproductions of the concrete situations the paper uses to
+// motivate its mechanisms, beyond Figure 1:
+//
+//   - the Amazon example of §5.2: "Buy new: $XXX.XX" recurs in every
+//     record and would be mistaken for a boundary marker without
+//     filter_CSBMs;
+//   - a clustering engine whose section headings are query-dependent
+//     (category labels), the situation that motivates hidden-section
+//     handling: headings never match across pages, so every boundary is
+//     "hidden".
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// amazonPage fabricates a shopping result page where every record carries
+// the "Buy new:" decoration.
+func amazonPage(query string, items []string) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><body><h1>Bookshop</h1>
+	<div><a href="/h">Home</a> | <a href="/c">Cart</a></div>
+	<div>Showing results for ` + query + `</div><hr>
+	<h3>Books</h3><table>`)
+	for i, item := range items {
+		fmt.Fprintf(&sb, `<tr><td><a href="/dp/%d"><b>%s</b></a><br>by Some Author (Paperback)<br>Buy new: $%d.%02d</td></tr>`,
+			i, item, 9+i, (i*37)%100)
+	}
+	sb.WriteString(`</table><hr><div>Conditions of Use</div></body></html>`)
+	return sb.String()
+}
+
+func TestAmazonFalseSBMEndToEnd(t *testing.T) {
+	samples := []*SamplePage{
+		{HTML: amazonPage("go", []string{"The Go Programming Language", "Learning Go", "Go In Action", "Go Web Programming"}), Query: []string{"go"}},
+		{HTML: amazonPage("history", []string{"A History Of The World", "Ancient Rome", "The Silk Roads"}), Query: []string{"history"}},
+		{HTML: amazonPage("physics", []string{"Six Easy Pieces", "The Character Of Physical Law", "QED", "Relativity", "Thirty Years"}), Query: []string{"physics"}},
+		{HTML: amazonPage("cooking", []string{"Salt Fat Acid Heat", "The Food Lab"}), Query: []string{"cooking"}},
+		{HTML: amazonPage("poetry", []string{"Leaves Of Grass", "The Waste Land", "Selected Poems"}), Query: []string{"poetry"}},
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := amazonPage("novels", []string{"Middlemarch", "Bleak House", "Moby Dick", "Ulysses"})
+	secs := ew.Extract(page, []string{"novels"})
+	var books *Section
+	for _, s := range secs {
+		if s.Heading == "Books" {
+			books = s
+		}
+	}
+	if books == nil {
+		t.Fatalf("Books section not extracted; got %d sections", len(secs))
+	}
+	if len(books.Records) != 4 {
+		for _, r := range books.Records {
+			t.Logf("record: %v", r.Lines)
+		}
+		t.Fatalf("records = %d, want 4 — the 'Buy new:' lines must not split records", len(books.Records))
+	}
+	for i, r := range books.Records {
+		if len(r.Lines) != 3 {
+			t.Fatalf("record %d has %d lines, want 3 (title/author/price)", i, len(r.Lines))
+		}
+		if !strings.Contains(r.Lines[2], "Buy new:") {
+			t.Fatalf("record %d lost its price line: %v", i, r.Lines)
+		}
+	}
+}
+
+// clusterPage fabricates a clustering engine: section headings are the
+// query-dependent cluster labels.
+func clusterPage(query string, clusters map[string][]string, order []string) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><body><h1>ClusterFind</h1>
+	<div>Results for ` + query + ` grouped by topic</div><hr><div class="results">`)
+	for _, label := range order {
+		docs := clusters[label]
+		fmt.Fprintf(&sb, `<div><b><font size="4" color="#004488">%s</font></b></div>`, label)
+		sb.WriteString(`<ul>`)
+		for i, d := range docs {
+			fmt.Fprintf(&sb, `<li><a href="/d/%d">%s</a><br>snippet about %s</li>`, i, d, d)
+		}
+		sb.WriteString(`</ul>`)
+	}
+	sb.WriteString(`</div><hr><div>About ClusterFind</div></body></html>`)
+	return sb.String()
+}
+
+func TestClusteringEngineQueryDependentHeadings(t *testing.T) {
+	samples := []*SamplePage{
+		{HTML: clusterPage("jaguar", map[string][]string{
+			"Cars":    {"Jaguar XK review", "Jaguar dealers", "Used Jaguar prices"},
+			"Animals": {"Jaguar habitat", "Big cat conservation"},
+		}, []string{"Cars", "Animals"}), Query: []string{"jaguar"}},
+		{HTML: clusterPage("python", map[string][]string{
+			"Programming": {"Python tutorial", "Python packages", "Async in Python"},
+			"Reptiles":    {"Ball python care", "Python species"},
+		}, []string{"Programming", "Reptiles"}), Query: []string{"python"}},
+		{HTML: clusterPage("mercury", map[string][]string{
+			"Astronomy": {"Planet Mercury facts", "Mercury transit"},
+			"Chemistry": {"Mercury element", "Mercury toxicity", "Thermometers"},
+			"Music":     {"Freddie Mercury biography"},
+		}, []string{"Astronomy", "Chemistry", "Music"}), Query: []string{"mercury"}},
+		{HTML: clusterPage("apollo", map[string][]string{
+			"Space":     {"Apollo 11 landing", "Apollo program history"},
+			"Mythology": {"Apollo the god", "Delphi oracle"},
+		}, []string{"Space", "Mythology"}), Query: []string{"apollo"}},
+		{HTML: clusterPage("delta", map[string][]string{
+			"Airlines": {"Delta flight status", "Delta baggage rules"},
+			"Rivers":   {"Nile delta ecology", "Mississippi delta"},
+			"Math":     {"Delta in calculus"},
+		}, []string{"Airlines", "Rivers", "Math"}), Query: []string{"delta"}},
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new query with entirely new cluster labels: every section is
+	// "hidden" in the paper's sense.
+	page := clusterPage("amazon", map[string][]string{
+		"Rainforest": {"Amazon basin facts", "Deforestation trends"},
+		"Shopping":   {"Amazon store hours", "Online retail growth", "Package tracking"},
+	}, []string{"Rainforest", "Shopping"})
+	secs := ew.Extract(page, []string{"amazon"})
+
+	found := map[string]int{}
+	for _, s := range secs {
+		for _, r := range s.Records {
+			joined := strings.Join(r.Lines, " ")
+			if strings.Contains(joined, "Amazon basin") || strings.Contains(joined, "Deforestation") {
+				found["Rainforest"]++
+			}
+			if strings.Contains(joined, "store hours") || strings.Contains(joined, "retail growth") ||
+				strings.Contains(joined, "Package tracking") {
+				found["Shopping"]++
+			}
+		}
+	}
+	if found["Rainforest"] < 2 || found["Shopping"] < 3 {
+		for _, s := range secs {
+			t.Logf("section %q [%d,%d) recs=%d", s.Heading, s.Start, s.End, len(s.Records))
+		}
+		t.Fatalf("hidden-label clusters not recovered: %v", found)
+	}
+	// The two clusters must not be merged into one extracted section.
+	for _, s := range secs {
+		joined := ""
+		for _, r := range s.Records {
+			joined += strings.Join(r.Lines, " ") + " "
+		}
+		if strings.Contains(joined, "Amazon basin") && strings.Contains(joined, "store hours") {
+			t.Fatalf("clusters merged into one section")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+// Failure-injection tests: the pipeline must degrade gracefully — never
+// panic, never hang — on adversarial, truncated or degenerate inputs, and
+// must stay deterministic.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mse/internal/synth"
+)
+
+// mustNotPanic runs the full pipeline over the given sample pages and
+// extraction targets, failing the test on panic.
+func mustNotPanic(t *testing.T, name string, samples []*SamplePage, extract []string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: pipeline panicked: %v", name, r)
+		}
+	}()
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		return // a clean error is acceptable
+	}
+	for _, html := range extract {
+		ew.Extract(html, nil)
+	}
+}
+
+func TestPipelineOnDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		html string
+	}{
+		{"empty", ""},
+		{"whitespace", "   \n\t  "},
+		{"no body content", "<html><head><title>t</title></head><body></body></html>"},
+		{"text only", "just some plain text without any markup"},
+		{"unclosed everything", "<div><table><tr><td><a href=x>link"},
+		{"only comments", "<!-- a --><!-- b -->"},
+		{"binary-ish", "\x00\x01\x02<p>\xff\xfe</p>"},
+		{"nested garbage", strings.Repeat("<div>", 300) + "x"},
+		{"huge attribute", `<p class="` + strings.Repeat("x", 100000) + `">y</p>`},
+		{"script soup", "<script>while(1){}</script><p>after</p>"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			samples := []*SamplePage{
+				{HTML: c.html, Query: []string{"q"}},
+				{HTML: c.html, Query: []string{"r"}},
+			}
+			mustNotPanic(t, c.name, samples, []string{c.html, "<p>other</p>"})
+		})
+	}
+}
+
+func TestPipelineMixedQualitySamples(t *testing.T) {
+	// One good engine page plus one garbage page: training must survive.
+	e := synth.NewEngine(77, 0, true)
+	good := e.Page(0)
+	samples := []*SamplePage{
+		{HTML: good.HTML, Query: good.Query},
+		{HTML: "<div>totally unrelated junk page</div>", Query: []string{"x"}},
+		{HTML: e.Page(1).HTML, Query: e.Page(1).Query},
+	}
+	mustNotPanic(t, "mixed", samples, []string{e.Page(5).HTML})
+}
+
+func TestPipelineTruncatedPages(t *testing.T) {
+	// Progressive truncations of a real page: tokenizer-level cuts,
+	// element-level cuts, mid-attribute cuts.
+	e := synth.NewEngine(78, 1, true)
+	full := e.Page(0).HTML
+	for _, frac := range []int{1, 5, 25, 50, 75, 95} {
+		cut := len(full) * frac / 100
+		truncated := full[:cut]
+		samples := []*SamplePage{
+			{HTML: truncated, Query: e.Page(0).Query},
+			{HTML: e.Page(1).HTML, Query: e.Page(1).Query},
+		}
+		mustNotPanic(t, "truncated", samples, []string{truncated})
+	}
+}
+
+func TestPipelineExtractOnForeignPage(t *testing.T) {
+	// A wrapper trained on engine A applied to pages of engine B must not
+	// panic and should extract little or nothing rather than garbage
+	// sections covering the template.
+	a := synth.NewEngine(79, 2, true)
+	b := synth.NewEngine(80, 3, true)
+	var samples []*SamplePage
+	for q := 0; q < 5; q++ {
+		gp := a.Page(q)
+		samples = append(samples, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := b.Page(0)
+	secs := ew.Extract(foreign.HTML, foreign.Query)
+	for _, s := range secs {
+		txt := ""
+		for _, r := range s.Records {
+			txt += strings.Join(r.Lines, " ")
+		}
+		if strings.Contains(txt, "Copyright") {
+			t.Fatalf("foreign extraction swallowed template content: %q", txt)
+		}
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	e := synth.NewEngine(81, 4, true)
+	var samples []*SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	build := func() string {
+		ew, err := BuildWrapper(samples, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(ew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	first := build()
+	for i := 0; i < 3; i++ {
+		if got := build(); got != first {
+			t.Fatalf("wrapper construction is not deterministic (run %d)", i+2)
+		}
+	}
+}
+
+func TestPipelineIdenticalSamplePages(t *testing.T) {
+	// All sample pages literally identical: every line matches mutually,
+	// so everything is "static" and no wrapper can emerge — but nothing
+	// may crash, and extraction must return nothing rather than noise.
+	gp := synth.NewEngine(82, 5, false).Page(0)
+	var samples []*SamplePage
+	for i := 0; i < 5; i++ {
+		samples = append(samples, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		return
+	}
+	secs := ew.Extract(gp.HTML, gp.Query)
+	for _, s := range secs {
+		if s.Start == 0 {
+			t.Fatalf("identical-page wrapper extracted from the page top")
+		}
+	}
+}
+
+func TestPipelineManySamplePages(t *testing.T) {
+	// More samples than the paper's five must still work (and not blow up
+	// combinatorially: DSE is pairwise).
+	e := synth.NewEngine(83, 6, true)
+	var samples []*SamplePage
+	for q := 0; q < 9; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ew.Wrappers)+len(ew.Families) == 0 {
+		t.Fatalf("no wrappers from nine samples")
+	}
+}

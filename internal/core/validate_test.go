@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/synth"
+)
+
+func buildFor(t *testing.T, e *synth.Engine) *EngineWrapper {
+	t.Helper()
+	var samples []*SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ew
+}
+
+func TestValidateHealthyOnOwnEngine(t *testing.T) {
+	e := synth.NewEngine(91, 1, false) // single, always-present section
+	ew := buildFor(t, e)
+	var fresh []*SamplePage
+	for q := 5; q < 10; q++ {
+		gp := e.Page(q)
+		fresh = append(fresh, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	report := ew.Validate(fresh)
+	if report.Pages != 5 {
+		t.Fatalf("pages = %d", report.Pages)
+	}
+	if !report.Healthy(0.5) {
+		t.Fatalf("wrapper unhealthy on its own engine:\n%s", report)
+	}
+	total := 0
+	for _, w := range report.Wrappers {
+		total += w.Records
+	}
+	if total == 0 && report.FamilySections == 0 {
+		t.Fatalf("validation saw no records at all")
+	}
+}
+
+func TestValidateDetectsTemplateDrift(t *testing.T) {
+	e := synth.NewEngine(92, 2, false)
+	ew := buildFor(t, e)
+	// "The engine redesigned its site": completely different pages.
+	drifted := []*SamplePage{
+		{HTML: "<html><body><main><article>new world</article></main></body></html>", Query: []string{"q"}},
+		{HTML: "<html><body><main><article>other content</article></main></body></html>", Query: []string{"r"}},
+	}
+	report := ew.Validate(drifted)
+	if report.Healthy(0.5) {
+		t.Fatalf("drifted template reported healthy:\n%s", report)
+	}
+}
+
+func TestValidateStringOutput(t *testing.T) {
+	e := synth.NewEngine(93, 3, true)
+	ew := buildFor(t, e)
+	gp := e.Page(6)
+	report := ew.Validate([]*SamplePage{{HTML: gp.HTML, Query: gp.Query}})
+	out := report.String()
+	if !strings.Contains(out, "validated over 1 pages") {
+		t.Fatalf("summary missing header: %q", out)
+	}
+	if len(report.Wrappers) > 0 && !strings.Contains(out, "wrapper ") {
+		t.Fatalf("summary missing wrapper lines: %q", out)
+	}
+}
+
+func TestValidateEmptyPageSet(t *testing.T) {
+	e := synth.NewEngine(94, 4, false)
+	ew := buildFor(t, e)
+	report := ew.Validate(nil)
+	if report.Pages != 0 {
+		t.Fatalf("pages = %d", report.Pages)
+	}
+	// With zero pages every wrapper trivially fired 0 >= 0.5*0 times.
+	if !report.Healthy(0.5) {
+		t.Fatalf("empty validation should be vacuously healthy")
+	}
+}

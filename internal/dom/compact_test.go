@@ -1,0 +1,82 @@
+package dom
+
+import "testing"
+
+func TestCompactPathStringRoundTrip(t *testing.T) {
+	doc, _ := buildTree()
+	doc.Walk(func(n *Node) bool {
+		cp := PathOf(n).Compact()
+		parsed, err := ParseCompactPath(cp.String())
+		if err != nil {
+			t.Fatalf("ParseCompactPath(%q): %v", cp.String(), err)
+		}
+		if parsed.String() != cp.String() {
+			t.Fatalf("round trip %q -> %q", cp.String(), parsed.String())
+		}
+		if !parsed.Compatible(cp) {
+			t.Fatalf("parsed path incompatible with original")
+		}
+		if PathDistance(parsed, cp) != 0 {
+			t.Fatalf("parsed path at distance from original")
+		}
+		return true
+	})
+}
+
+func TestParseCompactPathEmpty(t *testing.T) {
+	cp, err := ParseCompactPath("")
+	if err != nil || len(cp) != 0 {
+		t.Fatalf("empty compact path should parse to nil: %v %v", cp, err)
+	}
+}
+
+func TestParseCompactPathErrors(t *testing.T) {
+	for _, bad := range []string{"html}+0", "{html", "{html}0", "{html}+", "{html}+x"} {
+		if _, err := ParseCompactPath(bad); err == nil {
+			t.Errorf("ParseCompactPath(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseCompactPathMultiDigit(t *testing.T) {
+	cp, err := ParseCompactPath("{body}+12{table}+345")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp[0].SBefore != 12 || cp[1].SBefore != 345 {
+		t.Fatalf("multi-digit counts wrong: %+v", cp)
+	}
+}
+
+func TestLocateCompactAllOrdering(t *testing.T) {
+	doc, m := buildTree()
+	_ = m
+	target := PathOf(m["a"]).Compact()
+	cands := LocateCompactAll(doc, target)
+	if len(cands) < 2 {
+		t.Fatalf("expected several compatible candidates, got %d", len(cands))
+	}
+	// The first candidate is the exact node (distance 0).
+	if cands[0] != m["a"] {
+		t.Fatalf("best candidate is not the exact node")
+	}
+	// Distances are non-decreasing.
+	prev := -1.0
+	for _, c := range cands {
+		d := PathDistance(PathOf(c).Compact(), target)
+		if d < prev {
+			t.Fatalf("candidates not sorted by distance")
+		}
+		prev = d
+	}
+}
+
+func TestChildCount(t *testing.T) {
+	_, m := buildTree()
+	if got := m["table"].ChildCount(); got != 2 {
+		t.Fatalf("ChildCount(table) = %d", got)
+	}
+	if got := m["a"].ChildCount(); got != 0 {
+		t.Fatalf("ChildCount(text) = %d", got)
+	}
+}

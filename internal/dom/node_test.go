@@ -1,0 +1,235 @@
+package dom
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildTree constructs:
+//
+//	doc
+//	└── html
+//	    ├── head
+//	    │   └── title ("T")
+//	    └── body
+//	        ├── table
+//	        │   ├── tr ── td ("a")
+//	        │   └── tr ── td ("b")
+//	        └── p ("x")
+func buildTree() (*Node, map[string]*Node) {
+	m := make(map[string]*Node)
+	el := func(name, tag string) *Node {
+		n := &Node{Type: ElementNode, Tag: tag}
+		m[name] = n
+		return n
+	}
+	text := func(name, s string) *Node {
+		n := &Node{Type: TextNode, Data: s}
+		m[name] = n
+		return n
+	}
+	doc := &Node{Type: DocumentNode}
+	m["doc"] = doc
+	html := el("html", "html")
+	head := el("head", "head")
+	title := el("title", "title")
+	body := el("body", "body")
+	table := el("table", "table")
+	tr1 := el("tr1", "tr")
+	td1 := el("td1", "td")
+	tr2 := el("tr2", "tr")
+	td2 := el("td2", "td")
+	p := el("p", "p")
+
+	doc.AppendChild(html)
+	html.AppendChild(head)
+	head.AppendChild(title)
+	title.AppendChild(text("t", "T"))
+	html.AppendChild(body)
+	body.AppendChild(table)
+	table.AppendChild(tr1)
+	tr1.AppendChild(td1)
+	td1.AppendChild(text("a", "a"))
+	table.AppendChild(tr2)
+	tr2.AppendChild(td2)
+	td2.AppendChild(text("b", "b"))
+	body.AppendChild(p)
+	p.AppendChild(text("x", "x"))
+	return doc, m
+}
+
+func TestAppendChildLinks(t *testing.T) {
+	parent := &Node{Type: ElementNode, Tag: "div"}
+	a := &Node{Type: ElementNode, Tag: "a"}
+	b := &Node{Type: ElementNode, Tag: "b"}
+	parent.AppendChild(a)
+	parent.AppendChild(b)
+	if parent.FirstChild != a || parent.LastChild != b {
+		t.Fatalf("first/last child wrong")
+	}
+	if a.NextSibling != b || b.PrevSibling != a {
+		t.Fatalf("sibling links wrong")
+	}
+	if a.Parent != parent || b.Parent != parent {
+		t.Fatalf("parent links wrong")
+	}
+}
+
+func TestAppendChildPanicsOnAttached(t *testing.T) {
+	parent := &Node{Type: ElementNode, Tag: "div"}
+	a := &Node{Type: ElementNode, Tag: "a"}
+	parent.AppendChild(a)
+	other := &Node{Type: ElementNode, Tag: "p"}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic appending attached node")
+		}
+	}()
+	other.AppendChild(a)
+}
+
+func TestRemoveChild(t *testing.T) {
+	parent := &Node{Type: ElementNode, Tag: "div"}
+	a := &Node{Type: ElementNode, Tag: "a"}
+	b := &Node{Type: ElementNode, Tag: "b"}
+	c := &Node{Type: ElementNode, Tag: "c"}
+	parent.AppendChild(a)
+	parent.AppendChild(b)
+	parent.AppendChild(c)
+	parent.RemoveChild(b)
+	if got := len(parent.Children()); got != 2 {
+		t.Fatalf("children = %d, want 2", got)
+	}
+	if a.NextSibling != c || c.PrevSibling != a {
+		t.Fatalf("sibling relink wrong after removal")
+	}
+	if b.Parent != nil || b.PrevSibling != nil || b.NextSibling != nil {
+		t.Fatalf("removed node not detached")
+	}
+	parent.RemoveChild(a)
+	parent.RemoveChild(c)
+	if parent.FirstChild != nil || parent.LastChild != nil {
+		t.Fatalf("parent not empty after removing all children")
+	}
+}
+
+func TestWalkPreorder(t *testing.T) {
+	doc, _ := buildTree()
+	var order []string
+	doc.Walk(func(n *Node) bool {
+		order = append(order, n.Label())
+		return true
+	})
+	want := []string{"#document", "html", "head", "title", "#text", "body",
+		"table", "tr", "td", "#text", "tr", "td", "#text", "p", "#text"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("preorder = %v, want %v", order, want)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	doc, m := buildTree()
+	var visited []string
+	doc.Walk(func(n *Node) bool {
+		visited = append(visited, n.Label())
+		return n != m["table"] // skip the table's descendants
+	})
+	for _, lbl := range visited {
+		if lbl == "tr" {
+			t.Fatalf("pruned subtree was visited")
+		}
+	}
+}
+
+func TestSizeAndTextContent(t *testing.T) {
+	doc, m := buildTree()
+	if got := doc.Size(); got != 15 {
+		t.Fatalf("Size = %d, want 15", got)
+	}
+	if got := m["table"].TextContent(); got != "a b" {
+		t.Fatalf("TextContent = %q, want %q", got, "a b")
+	}
+	if got := doc.TextContent(); got != "T a b x" {
+		t.Fatalf("TextContent = %q, want %q", got, "T a b x")
+	}
+}
+
+func TestCloneIsDeepAndDetached(t *testing.T) {
+	_, m := buildTree()
+	cp := m["table"].Clone()
+	if cp.Parent != nil || cp.PrevSibling != nil || cp.NextSibling != nil {
+		t.Fatalf("clone not detached")
+	}
+	if cp.Size() != m["table"].Size() {
+		t.Fatalf("clone size %d != original %d", cp.Size(), m["table"].Size())
+	}
+	// Mutating the clone must not affect the original.
+	cp.FirstChild.Tag = "mutated"
+	if m["table"].FirstChild.Tag != "tr" {
+		t.Fatalf("clone shares nodes with original")
+	}
+}
+
+func TestAttrLookup(t *testing.T) {
+	n := &Node{Type: ElementNode, Tag: "a",
+		Attrs: []Attr{{Key: "href", Val: "http://x"}, {Key: "class", Val: "r"}}}
+	if v, ok := n.Attr("href"); !ok || v != "http://x" {
+		t.Fatalf("Attr(href) = %q,%v", v, ok)
+	}
+	if _, ok := n.Attr("id"); ok {
+		t.Fatalf("Attr(id) should be absent")
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	doc, m := buildTree()
+	if !m["body"].IsAncestorOf(m["td1"]) {
+		t.Fatalf("body should be ancestor of td1")
+	}
+	if m["td1"].IsAncestorOf(m["body"]) {
+		t.Fatalf("td1 should not be ancestor of body")
+	}
+	if m["td1"].IsAncestorOf(m["td1"]) {
+		t.Fatalf("a node is not its own proper ancestor")
+	}
+	if got := m["td1"].Root(); got != doc {
+		t.Fatalf("Root wrong")
+	}
+	if got := m["td1"].Depth(); got != 5 {
+		t.Fatalf("Depth = %d, want 5", got)
+	}
+}
+
+func TestCommonAncestorAndMinimalSubtree(t *testing.T) {
+	_, m := buildTree()
+	if got := CommonAncestor(m["td1"], m["td2"]); got != m["table"] {
+		t.Fatalf("CommonAncestor(td1,td2) = %v, want table", got)
+	}
+	if got := CommonAncestor(m["td1"], m["p"]); got != m["body"] {
+		t.Fatalf("CommonAncestor(td1,p) = %v, want body", got)
+	}
+	if got := CommonAncestor(m["td1"], m["td1"]); got != m["td1"] {
+		t.Fatalf("CommonAncestor of node with itself should be the node")
+	}
+	if got := MinimalSubtree([]*Node{m["td1"], m["td2"], m["tr1"]}); got != m["table"] {
+		t.Fatalf("MinimalSubtree = %v, want table", got)
+	}
+	if got := MinimalSubtree(nil); got != nil {
+		t.Fatalf("MinimalSubtree(nil) should be nil")
+	}
+	detached := &Node{Type: ElementNode, Tag: "div"}
+	if got := CommonAncestor(m["td1"], detached); got != nil {
+		t.Fatalf("CommonAncestor across trees should be nil")
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	doc, _ := buildTree()
+	trs := doc.FindAll("tr")
+	if len(trs) != 2 {
+		t.Fatalf("FindAll(tr) = %d nodes, want 2", len(trs))
+	}
+	if len(doc.FindAll("li")) != 0 {
+		t.Fatalf("FindAll(li) should be empty")
+	}
+}

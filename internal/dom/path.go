@@ -1,0 +1,338 @@
+package dom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Direction is the second component of a path node: whether the next node
+// on the path is the first child ("C") or the next sibling ("S") of the
+// current node.
+type Direction byte
+
+const (
+	// Child marks a step that descends to the first child.
+	Child Direction = 'C'
+	// Sibling marks a step that moves to the next sibling.
+	Sibling Direction = 'S'
+)
+
+// PathNode is one step of a tag path: a tag name together with the
+// direction taken to reach the next node on the path.
+type PathNode struct {
+	Tag string
+	Dir Direction
+}
+
+// TagPath locates a node in a DOM tree by following first-child / next-
+// sibling links from the root, as defined in Section 4.1 of the paper.
+// The located node's own tag is not part of the path; the path's last step
+// points at it.
+type TagPath []PathNode
+
+// PathOf computes the tag path of n from the root of its tree.  The root
+// itself has an empty path.  Text and comment nodes are located the same
+// way as elements; their step tags use the node-type label ("#text").
+func PathOf(n *Node) TagPath {
+	var rev []PathNode
+	for n.Parent != nil {
+		if n.PrevSibling != nil {
+			n = n.PrevSibling
+			rev = append(rev, PathNode{Tag: n.Label(), Dir: Sibling})
+		} else {
+			n = n.Parent
+			rev = append(rev, PathNode{Tag: n.Label(), Dir: Child})
+		}
+	}
+	// Reverse into document order.
+	out := make(TagPath, len(rev))
+	for i, pn := range rev {
+		out[len(rev)-1-i] = pn
+	}
+	return out
+}
+
+// String renders the path in the paper's notation, e.g.
+// "{html}C{head}S{body}C".
+func (p TagPath) String() string {
+	var sb strings.Builder
+	for _, pn := range p {
+		fmt.Fprintf(&sb, "{%s}%c", pn.Tag, pn.Dir)
+	}
+	return sb.String()
+}
+
+// ParseTagPath parses the notation produced by TagPath.String.  It is the
+// inverse of String and is used when loading stored wrappers.
+func ParseTagPath(s string) (TagPath, error) {
+	var out TagPath
+	for len(s) > 0 {
+		if s[0] != '{' {
+			return nil, fmt.Errorf("dom: bad tag path %q: expected '{'", s)
+		}
+		end := strings.IndexByte(s, '}')
+		if end < 0 || end+1 >= len(s) {
+			return nil, fmt.Errorf("dom: bad tag path %q: unterminated step", s)
+		}
+		tag := s[1:end]
+		dir := Direction(s[end+1])
+		if dir != Child && dir != Sibling {
+			return nil, fmt.Errorf("dom: bad tag path %q: direction %q", s, dir)
+		}
+		out = append(out, PathNode{Tag: tag, Dir: dir})
+		s = s[end+2:]
+	}
+	return out, nil
+}
+
+// CStep is one entry of a compact tag path: a C node together with the
+// number of S steps that preceded it since the previous C node.  Compact
+// tag paths remove the "noise" of varying sibling counts so that paths
+// from different result pages of the same engine can be matched.
+type CStep struct {
+	Tag string
+	// SBefore is the number of sibling steps between the previous C node
+	// and this one.
+	SBefore int
+}
+
+// CompactPath is a tag path reduced to its C nodes plus S-step counts.
+type CompactPath []CStep
+
+// Compact converts a tag path to its compact form.  Trailing S steps after
+// the last C node are folded into a synthetic final entry with an empty
+// tag, so that the full sibling offset of the target is preserved.
+func (p TagPath) Compact() CompactPath {
+	var out CompactPath
+	s := 0
+	for _, pn := range p {
+		switch pn.Dir {
+		case Sibling:
+			s++
+		case Child:
+			out = append(out, CStep{Tag: pn.Tag, SBefore: s})
+			s = 0
+		}
+	}
+	if s > 0 {
+		out = append(out, CStep{Tag: "", SBefore: s})
+	}
+	return out
+}
+
+// CTags returns the sequence of C-node tags of the compact path.
+func (c CompactPath) CTags() []string {
+	tags := make([]string, len(c))
+	for i, st := range c {
+		tags[i] = st.Tag
+	}
+	return tags
+}
+
+// Compatible reports whether two compact tag paths contain the same
+// sequence of C nodes (Section 4.1).
+func (c CompactPath) Compatible(o CompactPath) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i].Tag != o[i].Tag {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalS returns the total number of sibling steps along the compact path,
+// i.e. sn(c_n, c_1) in the notation of Formula 1.
+func (c CompactPath) TotalS() int {
+	total := 0
+	for _, st := range c {
+		total += st.SBefore
+	}
+	return total
+}
+
+// String renders the compact path as "{tag}+k" steps, e.g.
+// "{html}+0{body}+1{table}+2".
+func (c CompactPath) String() string {
+	var sb strings.Builder
+	for _, st := range c {
+		fmt.Fprintf(&sb, "{%s}+%d", st.Tag, st.SBefore)
+	}
+	return sb.String()
+}
+
+// ParseCompactPath parses the notation produced by CompactPath.String,
+// e.g. "{html}+0{body}+1{table}+2".  It is used when loading stored
+// wrappers.
+func ParseCompactPath(s string) (CompactPath, error) {
+	var out CompactPath
+	for len(s) > 0 {
+		if s[0] != '{' {
+			return nil, fmt.Errorf("dom: bad compact path %q: expected '{'", s)
+		}
+		end := strings.IndexByte(s, '}')
+		if end < 0 || end+1 >= len(s) || s[end+1] != '+' {
+			return nil, fmt.Errorf("dom: bad compact path %q: malformed step", s)
+		}
+		tag := s[1:end]
+		rest := s[end+2:]
+		i := 0
+		for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+			i++
+		}
+		if i == 0 {
+			return nil, fmt.Errorf("dom: bad compact path %q: missing S count", s)
+		}
+		n := 0
+		for _, c := range rest[:i] {
+			n = n*10 + int(c-'0')
+		}
+		out = append(out, CStep{Tag: tag, SBefore: n})
+		s = rest[i:]
+	}
+	return out, nil
+}
+
+// PathDistance implements Formula 1 of the paper: the distance between two
+// compatible compact tag paths is the sum of the absolute differences of
+// the sibling-step counts between consecutive C nodes, normalized by the
+// larger total sibling-step count.  Incompatible paths have distance +Inf
+// conceptually; this function returns 1 plus the unnormalized mismatch to
+// keep the value finite while still sorting after every compatible pair.
+// Two identical paths have distance 0; two compatible paths with no
+// sibling steps at all also have distance 0.
+func PathDistance(a, b CompactPath) float64 {
+	if !a.Compatible(b) {
+		return incompatiblePathDistance(a, b)
+	}
+	sum := 0
+	for i := range a {
+		d := a[i].SBefore - b[i].SBefore
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	maxTotal := a.TotalS()
+	if t := b.TotalS(); t > maxTotal {
+		maxTotal = t
+	}
+	if maxTotal == 0 {
+		return 0
+	}
+	return float64(sum) / float64(maxTotal)
+}
+
+// incompatiblePathDistance gives a finite but always-worse-than-compatible
+// distance for incompatible paths: 1 + normalized tag-sequence edit
+// distance, so that "more alike" incompatible paths still sort earlier.
+func incompatiblePathDistance(a, b CompactPath) float64 {
+	at, bt := a.CTags(), b.CTags()
+	n, m := len(at), len(bt)
+	if n == 0 && m == 0 {
+		return 1
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if at[i-1] == bt[j-1] {
+				cost = 0
+			}
+			c := prev[j-1] + cost
+			if v := prev[j] + 1; v < c {
+				c = v
+			}
+			if v := cur[j-1] + 1; v < c {
+				c = v
+			}
+			cur[j] = c
+		}
+		prev, cur = cur, prev
+	}
+	maxLen := n
+	if m > maxLen {
+		maxLen = m
+	}
+	return 1 + float64(prev[m])/float64(maxLen)
+}
+
+// Locate follows a tag path from root and returns the node it reaches, or
+// nil if the path cannot be followed (missing child or sibling).
+func Locate(root *Node, p TagPath) *Node {
+	n := root
+	for i, pn := range p {
+		if n == nil {
+			return nil
+		}
+		if n.Label() != pn.Tag {
+			return nil
+		}
+		switch pn.Dir {
+		case Child:
+			n = n.FirstChild
+		case Sibling:
+			n = n.NextSibling
+		default:
+			return nil
+		}
+		_ = i
+	}
+	return n
+}
+
+// LocateCompact finds the descendant of root whose compact tag path is
+// compatible with target and has the smallest PathDistance to it.  It
+// returns nil when no node with a compatible path exists.  This tolerant
+// lookup is what makes stored wrappers robust against result pages whose
+// repeated-sibling counts differ from the sample pages.
+func LocateCompact(root *Node, target CompactPath) *Node {
+	cands := LocateCompactAll(root, target)
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[0]
+}
+
+// LocateCompactAll returns every descendant of root whose compact tag path
+// is compatible with target, ordered by increasing PathDistance (ties in
+// document order).  Callers that can validate candidates by other evidence
+// (boundary markers) should walk the list and take the first that
+// validates.
+func LocateCompactAll(root *Node, target CompactPath) []*Node {
+	type cand struct {
+		n    *Node
+		d    float64
+		docN int
+	}
+	var cands []cand
+	i := 0
+	root.Walk(func(n *Node) bool {
+		i++
+		cp := PathOf(n).Compact()
+		if !cp.Compatible(target) {
+			return true
+		}
+		cands = append(cands, cand{n: n, d: PathDistance(cp, target), docN: i})
+		return true
+	})
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].docN < cands[b].docN
+	})
+	out := make([]*Node, len(cands))
+	for j, c := range cands {
+		out[j] = c.n
+	}
+	return out
+}

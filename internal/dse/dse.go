@@ -1,0 +1,267 @@
+// Package dse implements the DSE algorithm of Section 5.2 of the MSE
+// paper (Figure 5): identification of candidate section boundary markers
+// (CSBMs) by mutual-best matching of cleaned content lines across sample
+// result pages, followed by identification of dynamic sections (DSs) as
+// the maximal runs of non-CSBM lines.
+//
+// A content line is a CSBM candidate when — after removing its dynamic
+// components (digits and query terms) — it has the same text and a
+// compatible tag path on another result page of the same engine, with the
+// two lines being each other's most compatible match (smallest tag path
+// distance, Formula 1).  Tentative CSBMs whose text recurs in every record
+// of an extracted MR ("Buy new: $…") are filtered out.
+package dse
+
+import (
+	"strings"
+
+	"mse/internal/dom"
+	"mse/internal/layout"
+	"mse/internal/sect"
+)
+
+// Options control DSE.
+type Options struct {
+	// MinPairs is the number of page pairs in which a line must be
+	// mutual-best matched before it is accepted as a CSBM (1 = union of
+	// pairwise marks, the default).
+	MinPairs int
+}
+
+// DefaultOptions returns the defaults.
+func DefaultOptions() Options {
+	return Options{MinPairs: 1}
+}
+
+// PageInput is one sample result page with the query that produced it and
+// the MRs extracted from it by MRE (used for CSBM filtering).
+type PageInput struct {
+	Page  *layout.Page
+	Query []string
+	MRs   []*sect.Section
+}
+
+// CleanLine removes the dynamic components of a content line's text:
+// digits are stripped from every token and query terms are dropped (lines
+// 1-2 of Figure 5).  Rule lines are given a stable sentinel so static
+// separators can match across pages.
+func CleanLine(l *layout.Line, query []string) string {
+	if l.Type == layout.RuleLine {
+		return "\x00hr"
+	}
+	qset := make(map[string]bool, len(query))
+	for _, q := range query {
+		qset[strings.ToLower(q)] = true
+	}
+	fields := strings.Fields(l.Text)
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		if qset[strings.ToLower(strings.Trim(f, ".,;:!?()"))] {
+			continue
+		}
+		f = stripDigits(f)
+		if f == "" {
+			continue
+		}
+		out = append(out, f)
+	}
+	return strings.Join(out, " ")
+}
+
+func stripDigits(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// cleanedPage caches per-line cleaned texts for one page.
+type cleanedPage struct {
+	in    *PageInput
+	clean []string
+}
+
+func newCleanedPage(in *PageInput) *cleanedPage {
+	cp := &cleanedPage{in: in, clean: make([]string, len(in.Page.Lines))}
+	for i := range in.Page.Lines {
+		cp.clean[i] = CleanLine(&in.Page.Lines[i], in.Query)
+	}
+	return cp
+}
+
+// mostCompatible implements find_most_compatible_line(l, L): among the
+// lines of other with the same cleaned text and a compatible compact tag
+// path, return the one with the smallest path distance (-1 if none).
+func mostCompatible(self *cleanedPage, i int, other *cleanedPage) int {
+	text := self.clean[i]
+	if text == "" {
+		return -1 // blank/number-only lines cannot be boundary markers
+	}
+	cp := self.in.Page.Lines[i].CPath
+	best := -1
+	bestDist := 0.0
+	for j, t := range other.clean {
+		if t != text {
+			continue
+		}
+		ocp := other.in.Page.Lines[j].CPath
+		if !cp.Compatible(ocp) {
+			continue
+		}
+		d := dom.PathDistance(cp, ocp)
+		if best == -1 || d < bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best
+}
+
+// IdentifyCSBMs runs the CSBM phase of DSE over every pair of input pages
+// and returns, per page, a boolean mark for each content line.  A line is
+// marked when it is mutual-best matched in at least MinPairs page pairs
+// and survives the MR-based filter.
+func IdentifyCSBMs(inputs []*PageInput, opt Options) [][]bool {
+	if opt.MinPairs < 1 {
+		opt.MinPairs = 1
+	}
+	cleaned := make([]*cleanedPage, len(inputs))
+	for i, in := range inputs {
+		cleaned[i] = newCleanedPage(in)
+	}
+	votes := make([][]int, len(inputs))
+	for i, in := range inputs {
+		votes[i] = make([]int, len(in.Page.Lines))
+	}
+	for a := 0; a < len(inputs); a++ {
+		for b := a + 1; b < len(inputs); b++ {
+			matchPair(cleaned[a], cleaned[b], votes[a], votes[b])
+		}
+	}
+	marks := make([][]bool, len(inputs))
+	for i := range inputs {
+		marks[i] = make([]bool, len(votes[i]))
+		for j, v := range votes[i] {
+			marks[i][j] = v >= opt.MinPairs
+		}
+	}
+	// The boundary markers of an engine are engine-wide template content;
+	// a text exposed as a false SBM by the MRs of any sample page is a
+	// false SBM on every sample page (pages with too few records for MRE
+	// cannot expose it themselves).
+	falseTexts := map[string]bool{}
+	for i := range inputs {
+		collectFalseSBMs(cleaned[i], falseTexts)
+	}
+	if len(falseTexts) > 0 {
+		for i := range inputs {
+			for j := range marks[i] {
+				if marks[i][j] && falseTexts[cleaned[i].clean[j]] {
+					marks[i][j] = false
+				}
+			}
+		}
+	}
+	return marks
+}
+
+// matchPair marks mutual-best line pairs between two pages (lines 3-9 of
+// Figure 5).
+func matchPair(p1, p2 *cleanedPage, votes1, votes2 []int) {
+	mc1 := make([]int, len(p1.clean))
+	for i := range p1.clean {
+		mc1[i] = mostCompatible(p1, i, p2)
+	}
+	mc2 := make([]int, len(p2.clean))
+	for j := range p2.clean {
+		mc2[j] = mostCompatible(p2, j, p1)
+	}
+	for i, j := range mc1 {
+		if j >= 0 && mc2[j] == i {
+			votes1[i]++
+			votes2[j]++
+		}
+	}
+}
+
+// collectFalseSBMs implements filter_CSBMs (lines 10-11 of Figure 5): a
+// tentative CSBM whose cleaned text appears in (nearly) every record of
+// some MR is a repeated record string, not a boundary marker.  The texts
+// are accumulated into out so the verdict can be applied engine-wide.
+func collectFalseSBMs(cp *cleanedPage, out map[string]bool) {
+	for _, mr := range cp.in.MRs {
+		if len(mr.Records) < 2 {
+			continue
+		}
+		// Texts present in (nearly) every record of this MR.  Requiring
+		// presence in at least 80% of records — rather than literally all
+		// — keeps the filter effective when MRE mis-extracted a record
+		// near the section boundary (the boundary problem of §5.1).
+		counts := map[string]int{}
+		for r := range mr.Records {
+			for t := range recordTexts(cp, mr, r) {
+				counts[t]++
+			}
+		}
+		need := (len(mr.Records)*4 + 4) / 5 // ceil(0.8 n)
+		if need < 2 {
+			need = 2
+		}
+		for t, n := range counts {
+			if n >= need && t != "" {
+				out[t] = true
+			}
+		}
+	}
+}
+
+func recordTexts(cp *cleanedPage, mr *sect.Section, r int) map[string]bool {
+	out := map[string]bool{}
+	rec := mr.Records[r]
+	for i := rec.Start; i < rec.End && i < len(cp.clean); i++ {
+		out[cp.clean[i]] = true
+	}
+	return out
+}
+
+// IdentifyDSs implements identify_DSs (lines 12-13 of Figure 5): the page
+// is partitioned into maximal segments of consecutive CSBM / non-CSBM
+// lines; the non-CSBM segments are the candidate dynamic sections, each
+// taking the nearest surrounding CSBM lines as its LBM and RBM.
+func IdentifyDSs(p *layout.Page, csbm []bool) []*sect.Section {
+	var out []*sect.Section
+	i := 0
+	for i < len(p.Lines) {
+		if csbm[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < len(p.Lines) && !csbm[i] {
+			i++
+		}
+		ds := sect.New(p, start, i)
+		if start > 0 {
+			ds.LBM = start - 1
+		}
+		if i < len(p.Lines) {
+			ds.RBM = i
+		}
+		out = append(out, ds)
+	}
+	return out
+}
+
+// Run executes DSE over the sample pages: CSBM identification followed by
+// DS identification on every page.  It returns the per-page dynamic
+// sections and the per-page CSBM marks.
+func Run(inputs []*PageInput, opt Options) ([][]*sect.Section, [][]bool) {
+	marks := IdentifyCSBMs(inputs, opt)
+	dss := make([][]*sect.Section, len(inputs))
+	for i, in := range inputs {
+		dss[i] = IdentifyDSs(in.Page, marks[i])
+	}
+	return dss, marks
+}

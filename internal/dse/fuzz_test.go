@@ -1,0 +1,42 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/htmlparse"
+	"mse/internal/layout"
+)
+
+// FuzzCleanLine checks that dynamic-component cleaning is total, stable
+// and idempotent for arbitrary line texts and query terms.
+func FuzzCleanLine(f *testing.F) {
+	f.Add("Your search returned 578 matches for knee injury.", "knee injury")
+	f.Add("", "")
+	f.Add("no digits here", "digits")
+	f.Add("123 456 789", "a b c")
+	f.Add("punct, stripped! (really?)", "punct really")
+	f.Fuzz(func(t *testing.T, text, query string) {
+		page := layout.Render(htmlparse.Parse("<p>" + text + "</p>"))
+		if len(page.Lines) == 0 {
+			return
+		}
+		terms := strings.Fields(query)
+		got := CleanLine(&page.Lines[0], terms)
+		// No digits survive cleaning.
+		if strings.ContainsAny(got, "0123456789") {
+			t.Fatalf("digits survived: %q", got)
+		}
+		// Cleaning the cleaned text is a no-op (idempotence) — re-render
+		// the cleaned text as a line first.
+		if got != "" {
+			page2 := layout.Render(htmlparse.Parse("<p>" + got + "</p>"))
+			if len(page2.Lines) > 0 {
+				again := CleanLine(&page2.Lines[0], terms)
+				if again != CleanLine(&page2.Lines[0], terms) {
+					t.Fatalf("cleaning is unstable")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package editdist
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/htmlparse"
+)
+
+func BenchmarkTreeEditDistanceRecords(b *testing.B) {
+	mk := func(snips int) string {
+		return `<td><a href="/x"><b>Title</b></a>` +
+			strings.Repeat("<br>snippet text", snips) + `</td>`
+	}
+	t1 := htmlparse.Parse(mk(2)).FindAll("td")[0]
+	t2 := htmlparse.Parse(mk(3)).FindAll("td")[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TreeEditDistance(t1, t2)
+	}
+}
+
+func BenchmarkForestDistRecords(b *testing.B) {
+	mk := func(n int) string {
+		var sb strings.Builder
+		sb.WriteString("<div>")
+		for i := 0; i < n; i++ {
+			sb.WriteString(`<div><a href="/x">t</a><br>s</div>`)
+		}
+		sb.WriteString("</div>")
+		return sb.String()
+	}
+	f1 := htmlparse.Parse(mk(5)).FindAll("div")[0].Children()
+	f2 := htmlparse.Parse(mk(7)).FindAll("div")[0].Children()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForestDist(f1, f2)
+	}
+}
+
+func BenchmarkStringDistance(b *testing.B) {
+	s1 := strings.Repeat("the quick brown fox ", 5)
+	s2 := strings.Repeat("the slow brown dog ", 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StringDistance(s1, s2)
+	}
+}

@@ -1,0 +1,236 @@
+package editdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mse/internal/dom"
+	"mse/internal/htmlparse"
+)
+
+func TestStringDistanceClassic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		if got := StringDistance(c.a, c.b); got != c.want {
+			t.Errorf("StringDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNormalizedStringDistanceRange(t *testing.T) {
+	if got := NormalizedStringDistance("", ""); got != 0 {
+		t.Errorf("empty strings: %g", got)
+	}
+	if got := NormalizedStringDistance("abc", "abc"); got != 0 {
+		t.Errorf("equal strings: %g", got)
+	}
+	if got := NormalizedStringDistance("abc", "xyz"); got != 1 {
+		t.Errorf("disjoint strings: %g, want 1", got)
+	}
+}
+
+func TestQuickStringDistanceMetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d := StringDistance(a, b)
+		if d != StringDistance(b, a) {
+			return false // symmetry
+		}
+		if (a == b) != (d == 0) {
+			return false // identity
+		}
+		// Upper bound: max(len); lower bound: |len diff|.
+		diff := len(a) - len(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		return d >= diff && d <= maxLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStringDistanceTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		for _, s := range []*string{&a, &b, &c} {
+			if len(*s) > 20 {
+				*s = (*s)[:20]
+			}
+		}
+		ab := StringDistance(a, b)
+		bc := StringDistance(b, c)
+		ac := StringDistance(a, c)
+		return ac <= ab+bc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func body(src string) *dom.Node {
+	doc := htmlparse.Parse(src)
+	bodies := doc.FindAll("body")
+	return bodies[0]
+}
+
+func TestTreeEditDistanceIdentical(t *testing.T) {
+	a := body(`<div><p>x</p><p>y</p></div>`)
+	b := body(`<div><p>u</p><p>v</p></div>`)
+	// Text nodes share one label, so these trees are structurally equal.
+	if got := TreeEditDistance(a, b); got != 0 {
+		t.Fatalf("distance = %d, want 0", got)
+	}
+}
+
+func TestTreeEditDistanceSingleRelabel(t *testing.T) {
+	a := body(`<div><p>x</p></div>`)
+	b := body(`<div><span>x</span></div>`)
+	if got := TreeEditDistance(a, b); got != 1 {
+		t.Fatalf("distance = %d, want 1", got)
+	}
+}
+
+func TestTreeEditDistanceInsertion(t *testing.T) {
+	a := body(`<div><p>x</p></div>`)
+	b := body(`<div><p>x</p><p>y</p></div>`)
+	// Insert one <p> and one text node.
+	if got := TreeEditDistance(a, b); got != 2 {
+		t.Fatalf("distance = %d, want 2", got)
+	}
+}
+
+func TestTreeEditDistanceNilHandling(t *testing.T) {
+	a := body(`<p>x</p>`)
+	if got := TreeEditDistance(nil, nil); got != 0 {
+		t.Fatalf("nil,nil = %d", got)
+	}
+	if got := TreeEditDistance(a, nil); got != a.Size() {
+		t.Fatalf("a,nil = %d, want %d", got, a.Size())
+	}
+	if got := TreeEditDistance(nil, a); got != a.Size() {
+		t.Fatalf("nil,a = %d, want %d", got, a.Size())
+	}
+}
+
+func TestTreeEditDistanceDeepVsFlat(t *testing.T) {
+	deep := body(`<div><div><div><p>x</p></div></div></div>`)
+	flat := body(`<div><p>x</p></div>`)
+	got := TreeEditDistance(deep, flat)
+	if got != 2 {
+		t.Fatalf("distance = %d, want 2 (delete two divs)", got)
+	}
+}
+
+func TestTreeDistNormalized(t *testing.T) {
+	a := body(`<div><p>x</p></div>`)
+	b := body(`<div><p>x</p></div>`)
+	if got := TreeDist(a, b); got != 0 {
+		t.Fatalf("equal trees: %g", got)
+	}
+	c := body(`<table><tr><td>q</td></tr></table>`)
+	d := TreeDist(a, c)
+	if d <= 0 || d > 1 {
+		t.Fatalf("TreeDist out of range: %g", d)
+	}
+	if got := TreeDist(nil, a); got != 1 {
+		t.Fatalf("nil vs tree: %g, want 1", got)
+	}
+}
+
+func TestQuickTreeDistMetricProperties(t *testing.T) {
+	trees := []*dom.Node{
+		body(`<p>a</p>`),
+		body(`<div><p>a</p></div>`),
+		body(`<table><tr><td>a</td><td>b</td></tr></table>`),
+		body(`<ul><li>x</li><li>y</li><li>z</li></ul>`),
+		body(`<div><a href=x>l</a><br><span>s</span></div>`),
+	}
+	f := func(i, j uint8) bool {
+		a := trees[int(i)%len(trees)]
+		b := trees[int(j)%len(trees)]
+		d1 := TreeEditDistance(a, b)
+		d2 := TreeEditDistance(b, a)
+		if d1 != d2 {
+			return false
+		}
+		if a == b && d1 != 0 {
+			return false
+		}
+		nd := TreeDist(a, b)
+		return nd >= 0 && nd <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestDist(t *testing.T) {
+	f1 := body(`<div><p>a</p><p>b</p></div>`).Children()
+	f2 := body(`<div><p>c</p><p>d</p></div>`).Children()
+	if got := ForestDist(f1, f2); got != 0 {
+		t.Fatalf("structurally equal forests: %g", got)
+	}
+	f3 := body(`<div><table><tr><td>z</td></tr></table></div>`).Children()
+	d := ForestDist(f1, f3)
+	if d <= 0 || d > 1 {
+		t.Fatalf("ForestDist out of range: %g", d)
+	}
+	if got := ForestDist(nil, nil); got != 0 {
+		t.Fatalf("empty forests: %g", got)
+	}
+	if got := ForestDist(f1, nil); got != 1 {
+		t.Fatalf("forest vs empty: %g, want 1", got)
+	}
+}
+
+func TestForestDistPartialOverlap(t *testing.T) {
+	f1 := body(`<div><p>a</p><p>b</p><table><tr><td>x</td></tr></table></div>`).FindAll("div")[0].Children()
+	f2 := body(`<div><p>a</p><p>b</p></div>`).FindAll("div")[0].Children()
+	d := ForestDist(f1, f2)
+	// One of three trees missing: distance 1/3.
+	if math.Abs(d-1.0/3.0) > 1e-9 {
+		t.Fatalf("ForestDist = %g, want 1/3", d)
+	}
+}
+
+func TestStringsCustomCosts(t *testing.T) {
+	// Sequences [1,2,3] and [1,9,3] with substitution cost |x-y|/10.
+	a := []int{1, 2, 3}
+	b := []int{1, 9, 3}
+	d := Strings(len(a), len(b), Costs{
+		Sub: func(i, j int) float64 {
+			diff := a[i] - b[j]
+			if diff < 0 {
+				diff = -diff
+			}
+			return float64(diff) / 10
+		},
+		Del: func(int) float64 { return 1 },
+		Ins: func(int) float64 { return 1 },
+	})
+	if math.Abs(d-0.7) > 1e-9 {
+		t.Fatalf("custom-cost distance = %g, want 0.7", d)
+	}
+}

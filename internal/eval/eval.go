@@ -1,0 +1,228 @@
+// Package eval implements the paper's evaluation methodology (Section 6):
+// recall and precision of dynamic-section extraction with the perfect /
+// partially-correct distinction (a section is partially correct when more
+// than 60% of its records are extracted), plus record-level recall and
+// precision within correctly extracted sections.  It regenerates Tables
+// 1-3 of the paper over the synthetic test bed.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"mse/internal/core"
+	"mse/internal/synth"
+)
+
+// PartialThreshold is the fraction of a section's records that must be
+// extracted for the section to count as partially correct (§6: 60%).
+const PartialThreshold = 0.6
+
+// PageScore aggregates the judgment of one result page.
+type PageScore struct {
+	// Section-level counts (Tables 1 and 2).
+	Actual    int
+	Extracted int
+	Perfect   int
+	Partial   int
+	// Record-level counts within perfectly and partially correctly
+	// extracted sections (Table 3).
+	RecActual    int
+	RecExtracted int
+	RecCorrect   int
+}
+
+// Add accumulates another score.
+func (s *PageScore) Add(o PageScore) {
+	s.Actual += o.Actual
+	s.Extracted += o.Extracted
+	s.Perfect += o.Perfect
+	s.Partial += o.Partial
+	s.RecActual += o.RecActual
+	s.RecExtracted += o.RecExtracted
+	s.RecCorrect += o.RecCorrect
+}
+
+// RecallPerfect is the fraction of actual sections extracted perfectly.
+func (s PageScore) RecallPerfect() float64 { return ratio(s.Perfect, s.Actual) }
+
+// RecallTotal also accepts partially correct sections.
+func (s PageScore) RecallTotal() float64 { return ratio(s.Perfect+s.Partial, s.Actual) }
+
+// PrecisionPerfect is the fraction of extracted sections that are perfect.
+func (s PageScore) PrecisionPerfect() float64 { return ratio(s.Perfect, s.Extracted) }
+
+// PrecisionTotal also accepts partially correct sections.
+func (s PageScore) PrecisionTotal() float64 { return ratio(s.Perfect+s.Partial, s.Extracted) }
+
+// RecordRecall is the fraction of actual records extracted correctly
+// within correct sections.
+func (s PageScore) RecordRecall() float64 { return ratio(s.RecCorrect, s.RecActual) }
+
+// RecordPrecision is the fraction of extracted records that are correct
+// within correct sections.
+func (s PageScore) RecordPrecision() float64 { return ratio(s.RecCorrect, s.RecExtracted) }
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ScorePage judges the sections extracted from one page against its
+// ground truth.
+//
+// Matching: each ground-truth section is paired with the extracted
+// section that contains the largest number of its records (an extracted
+// record "belongs" to the ground-truth record whose marker it contains).
+// A pairing is perfect when the extracted section's records are exactly
+// the ground-truth section's records (same lines, none missing, none
+// extra); it is partially correct when more than PartialThreshold of the
+// ground-truth records are present as exactly extracted records.
+func ScorePage(gt synth.GroundTruth, secs []*core.Section) PageScore {
+	score := PageScore{Actual: len(gt.Sections), Extracted: len(secs)}
+
+	// Index ground truth records by marker.
+	byMarker := map[string]gtRef{}
+	for si, s := range gt.Sections {
+		for ri := range s.Records {
+			byMarker[s.Records[ri].Marker] = gtRef{sec: si, rec: ri}
+		}
+	}
+
+	// For each extracted section: per GT section, how many of its records
+	// are exactly reproduced, and how many extracted records are alien.
+	type secMatch struct {
+		exact map[int]map[int]bool // gt section -> set of exact gt records
+		owner map[int]int          // gt section -> number of owned records
+	}
+	matches := make([]secMatch, len(secs))
+	for ei, es := range secs {
+		m := secMatch{exact: map[int]map[int]bool{}, owner: map[int]int{}}
+		for _, rec := range es.Records {
+			ref, ok := recordOwner(rec, byMarker)
+			if !ok {
+				continue
+			}
+			m.owner[ref.sec]++
+			if recordExact(rec, gt.Sections[ref.sec].Records[ref.rec]) {
+				if m.exact[ref.sec] == nil {
+					m.exact[ref.sec] = map[int]bool{}
+				}
+				m.exact[ref.sec][ref.rec] = true
+			}
+		}
+		matches[ei] = m
+	}
+
+	// Greedy pairing: each GT section takes the extracted section holding
+	// most of its exact records; each extracted section is used once.
+	usedExtracted := make([]bool, len(secs))
+	for si, gts := range gt.Sections {
+		best, bestN := -1, 0
+		for ei := range secs {
+			if usedExtracted[ei] {
+				continue
+			}
+			if n := len(matches[ei].exact[si]); n > bestN {
+				best, bestN = ei, n
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		usedExtracted[best] = true
+		m := matches[best]
+		exactCount := len(m.exact[si])
+		// Extra records: extracted records in this section that are not
+		// exact records of this GT section.
+		extra := len(secs[best].Records) - exactCount
+
+		perfect := exactCount == len(gts.Records) && extra == 0
+		partial := !perfect && float64(exactCount) > PartialThreshold*float64(len(gts.Records))
+		if perfect {
+			score.Perfect++
+		}
+		if partial {
+			score.Partial++
+		}
+		if perfect || partial {
+			score.RecActual += len(gts.Records)
+			score.RecExtracted += len(secs[best].Records)
+			score.RecCorrect += exactCount
+		}
+	}
+	return score
+}
+
+// gtRef locates one record within a page's ground truth.
+type gtRef struct{ sec, rec int }
+
+// recordOwner determines which ground-truth record an extracted record
+// covers; records containing markers of several ground-truth records have
+// no single owner.
+func recordOwner(rec core.Record, byMarker map[string]gtRef) (gtRef, bool) {
+	var owner gtRef
+	found := false
+	joined := strings.Join(rec.Lines, "\n")
+	for marker, ref := range byMarker {
+		if strings.Contains(joined, marker) {
+			if found && ref != owner {
+				return owner, false // spans several records
+			}
+			owner = ref
+			found = true
+		}
+	}
+	return owner, found
+}
+
+// recordExact reports whether the extracted record's lines equal the
+// ground-truth record's lines.
+func recordExact(rec core.Record, gtr synth.GTRecord) bool {
+	if len(rec.Lines) != len(gtr.Lines) {
+		return false
+	}
+	for i := range rec.Lines {
+		if rec.Lines[i] != gtr.Lines[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Row is one line of a results table, with the same columns as the
+// paper's Tables 1 and 2.
+type Row struct {
+	Label string
+	PageScore
+}
+
+// Format renders the row like the paper's tables.
+func (r Row) Format() string {
+	return fmt.Sprintf("%-6s %8d %10d %8d %9d %8.1f %7.1f %9.1f %7.1f",
+		r.Label, r.Actual, r.Extracted, r.Perfect, r.Partial,
+		100*r.RecallPerfect(), 100*r.RecallTotal(),
+		100*r.PrecisionPerfect(), 100*r.PrecisionTotal())
+}
+
+// RecordFormat renders the row like Table 3.
+func (r Row) RecordFormat() string {
+	return fmt.Sprintf("%-6s %8d %10d %8d %8.1f %11.1f",
+		r.Label, r.RecActual, r.RecExtracted, r.RecCorrect,
+		100*r.RecordRecall(), 100*r.RecordPrecision())
+}
+
+// Header returns the section-table header.
+func Header() string {
+	return fmt.Sprintf("%-6s %8s %10s %8s %9s %8s %7s %9s %7s",
+		"", "#Actual", "#Extracted", "#Perfect", "#Partial",
+		"R-Perf%", "R-Tot%", "P-Perf%", "P-Tot%")
+}
+
+// RecordHeader returns the record-table (Table 3) header.
+func RecordHeader() string {
+	return fmt.Sprintf("%-6s %8s %10s %8s %8s %11s",
+		"", "#Actual", "#Extracted", "#Correct", "Recall%", "Precision%")
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"testing"
+
+	"mse/internal/core"
+	"mse/internal/synth"
+)
+
+func TestScorePagePerfect(t *testing.T) {
+	gt := synth.GroundTruth{Sections: []synth.GTSection{{
+		SchemaIndex: 0,
+		Heading:     "News",
+		Records: []synth.GTRecord{
+			{Marker: "qjaa", Lines: []string{"Title qjaa", "snippet qjaa"}},
+			{Marker: "qjbb", Lines: []string{"Title qjbb", "snippet qjbb"}},
+		},
+	}}}
+	secs := []*core.Section{{
+		Heading: "News",
+		Records: []core.Record{
+			{Lines: []string{"Title qjaa", "snippet qjaa"}},
+			{Lines: []string{"Title qjbb", "snippet qjbb"}},
+		},
+	}}
+	s := ScorePage(gt, secs)
+	if s.Perfect != 1 || s.Partial != 0 {
+		t.Fatalf("score = %+v, want perfect", s)
+	}
+	if s.RecCorrect != 2 || s.RecActual != 2 || s.RecExtracted != 2 {
+		t.Fatalf("record counts wrong: %+v", s)
+	}
+}
+
+func TestScorePagePartial(t *testing.T) {
+	gt := synth.GroundTruth{Sections: []synth.GTSection{{
+		Records: []synth.GTRecord{
+			{Marker: "qjaa", Lines: []string{"Title qjaa"}},
+			{Marker: "qjbb", Lines: []string{"Title qjbb"}},
+			{Marker: "qjcc", Lines: []string{"Title qjcc"}},
+			{Marker: "qjdd", Lines: []string{"Title qjdd"}},
+		},
+	}}}
+	// Three of four records extracted (75% > 60% threshold).
+	secs := []*core.Section{{
+		Records: []core.Record{
+			{Lines: []string{"Title qjaa"}},
+			{Lines: []string{"Title qjbb"}},
+			{Lines: []string{"Title qjcc"}},
+		},
+	}}
+	s := ScorePage(gt, secs)
+	if s.Perfect != 0 || s.Partial != 1 {
+		t.Fatalf("score = %+v, want partial", s)
+	}
+	// Only 50%: below threshold.
+	secs[0].Records = secs[0].Records[:2]
+	s = ScorePage(gt, secs)
+	if s.Perfect != 0 || s.Partial != 0 {
+		t.Fatalf("score = %+v, want incorrect", s)
+	}
+}
+
+func TestScorePageExtraRecordBreaksPerfect(t *testing.T) {
+	gt := synth.GroundTruth{Sections: []synth.GTSection{{
+		Records: []synth.GTRecord{
+			{Marker: "qjaa", Lines: []string{"Title qjaa"}},
+			{Marker: "qjbb", Lines: []string{"Title qjbb"}},
+			{Marker: "qjcc", Lines: []string{"Title qjcc"}},
+		},
+	}}}
+	secs := []*core.Section{{
+		Records: []core.Record{
+			{Lines: []string{"Title qjaa"}},
+			{Lines: []string{"Title qjbb"}},
+			{Lines: []string{"Title qjcc"}},
+			{Lines: []string{"Some template junk"}},
+		},
+	}}
+	s := ScorePage(gt, secs)
+	if s.Perfect != 0 {
+		t.Fatalf("extra record should break perfect: %+v", s)
+	}
+	if s.Partial != 1 {
+		t.Fatalf("should still be partial: %+v", s)
+	}
+}
+
+func TestScorePageSplitSectionNotPerfect(t *testing.T) {
+	gt := synth.GroundTruth{Sections: []synth.GTSection{{
+		Records: []synth.GTRecord{
+			{Marker: "qjaa", Lines: []string{"Title qjaa"}},
+			{Marker: "qjbb", Lines: []string{"Title qjbb"}},
+		},
+	}}}
+	// Each record extracted into its own section: neither section alone
+	// has all records, and precision suffers from the doubled count.
+	secs := []*core.Section{
+		{Records: []core.Record{{Lines: []string{"Title qjaa"}}}},
+		{Records: []core.Record{{Lines: []string{"Title qjbb"}}}},
+	}
+	s := ScorePage(gt, secs)
+	if s.Perfect != 0 {
+		t.Fatalf("split section counted perfect: %+v", s)
+	}
+	if s.Extracted != 2 || s.Actual != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+}
+
+func TestScorePageRecordWithWrongLines(t *testing.T) {
+	gt := synth.GroundTruth{Sections: []synth.GTSection{{
+		Records: []synth.GTRecord{
+			{Marker: "qjaa", Lines: []string{"Title qjaa", "snippet qjaa"}},
+		},
+	}}}
+	// Record found but missing its snippet line: not exact.
+	secs := []*core.Section{{
+		Records: []core.Record{{Lines: []string{"Title qjaa"}}},
+	}}
+	s := ScorePage(gt, secs)
+	if s.Perfect != 0 || s.Partial != 0 {
+		t.Fatalf("inexact record accepted: %+v", s)
+	}
+}
+
+func TestScorePageEmpty(t *testing.T) {
+	s := ScorePage(synth.GroundTruth{}, nil)
+	if s.Actual != 0 || s.Extracted != 0 {
+		t.Fatalf("empty score wrong: %+v", s)
+	}
+	if s.RecallPerfect() != 0 || s.RecordRecall() != 0 {
+		t.Fatalf("empty ratios should be 0")
+	}
+}
+
+func TestRunSmallTestbed(t *testing.T) {
+	engines := synth.GenerateTestbed(synth.Config{Seed: 2006, Engines: 20, MultiSection: 8, Queries: 10})
+	res := Run(engines, RunConfig{
+		SampleCount:  5,
+		PageCount:    10,
+		NewExtractor: func() Extractor { return NewMSE(core.DefaultOptions()) },
+	})
+	total := res.Total()
+	t.Logf("\n%s", Header())
+	for _, row := range res.Rows() {
+		t.Logf("%s", row.Format())
+	}
+	t.Logf("\n%s", RecordHeader())
+	for _, row := range res.Rows() {
+		t.Logf("%s", row.RecordFormat())
+	}
+	if total.Actual == 0 {
+		t.Fatalf("no sections evaluated")
+	}
+	if total.RecallTotal() < 0.70 {
+		t.Fatalf("total recall %.3f unreasonably low", total.RecallTotal())
+	}
+	if total.RecordRecall() < 0.85 {
+		t.Fatalf("record recall %.3f unreasonably low", total.RecordRecall())
+	}
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/core"
+)
+
+func TestRowFormatting(t *testing.T) {
+	row := Row{Label: "Total", PageScore: PageScore{
+		Actual: 100, Extracted: 90, Perfect: 70, Partial: 10,
+		RecActual: 500, RecExtracted: 510, RecCorrect: 495,
+	}}
+	s := row.Format()
+	for _, want := range []string{"Total", "100", "90", "70", "10", "70.0", "80.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format() missing %q: %s", want, s)
+		}
+	}
+	r := row.RecordFormat()
+	for _, want := range []string{"500", "510", "495", "99.0", "97.1"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("RecordFormat() missing %q: %s", want, r)
+		}
+	}
+	if !strings.Contains(Header(), "#Actual") || !strings.Contains(RecordHeader(), "#Correct") {
+		t.Errorf("headers incomplete")
+	}
+}
+
+func TestResultRowsSplit(t *testing.T) {
+	res := Result{
+		SamplePages: PageScore{Actual: 10, Extracted: 9, Perfect: 8},
+		TestPages:   PageScore{Actual: 20, Extracted: 18, Perfect: 15},
+	}
+	rows := res.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Label != "S pgs" || rows[1].Label != "T pgs" || rows[2].Label != "Total" {
+		t.Fatalf("labels = %v %v %v", rows[0].Label, rows[1].Label, rows[2].Label)
+	}
+	if rows[2].Actual != 30 || rows[2].Perfect != 23 {
+		t.Fatalf("total row not the sum: %+v", rows[2].PageScore)
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	// Zero SampleCount/PageCount fall back to the paper's 5/10.
+	res := Run(nil, RunConfig{NewExtractor: func() Extractor { return NewMSE(core.DefaultOptions()) }})
+	if res.Total().Actual != 0 {
+		t.Fatalf("empty engine list should score zero")
+	}
+}

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"mse/internal/core"
+	"mse/internal/synth"
+)
+
+// Extractor abstracts a section extraction system under evaluation (MSE,
+// baselines, ablations).
+type Extractor interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Train builds the system's wrapper from sample pages.  Systems that
+	// need no training (per-page heuristics) return nil.
+	Train(samples []*core.SamplePage) error
+	// Extract returns the sections of one result page.
+	Extract(html string, query []string) []*core.Section
+}
+
+// MSEExtractor adapts the core pipeline to the Extractor interface.
+type MSEExtractor struct {
+	Options core.Options
+	wrapper *core.EngineWrapper
+}
+
+// NewMSE returns an MSE extractor with the given options.
+func NewMSE(opt core.Options) *MSEExtractor {
+	return &MSEExtractor{Options: opt}
+}
+
+// Name implements Extractor.
+func (m *MSEExtractor) Name() string { return "MSE" }
+
+// Train implements Extractor.
+func (m *MSEExtractor) Train(samples []*core.SamplePage) error {
+	ew, err := core.BuildWrapper(samples, m.Options)
+	if err != nil {
+		return err
+	}
+	m.wrapper = ew
+	return nil
+}
+
+// Extract implements Extractor.
+func (m *MSEExtractor) Extract(html string, query []string) []*core.Section {
+	if m.wrapper == nil {
+		return nil
+	}
+	return m.wrapper.Extract(html, query)
+}
+
+// Result holds the aggregate scores of one evaluation run, with the
+// paper's sample-page / test-page split.
+type Result struct {
+	SamplePages PageScore
+	TestPages   PageScore
+}
+
+// Total combines the sample-page and test-page scores.
+func (r Result) Total() PageScore {
+	t := r.SamplePages
+	t.Add(r.TestPages)
+	return t
+}
+
+// Rows renders the result as the three rows of Tables 1/2.
+func (r Result) Rows() []Row {
+	return []Row{
+		{Label: "S pgs", PageScore: r.SamplePages},
+		{Label: "T pgs", PageScore: r.TestPages},
+		{Label: "Total", PageScore: r.Total()},
+	}
+}
+
+// RunConfig controls an evaluation run.
+type RunConfig struct {
+	// SampleCount pages per engine are used for training; the rest are
+	// test pages.
+	SampleCount int
+	// PageCount pages are generated per engine.
+	PageCount int
+	// MultiOnly restricts the run to multi-section engines (Table 2).
+	MultiOnly bool
+	// NewExtractor constructs a fresh extractor per engine.
+	NewExtractor func() Extractor
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Run trains and scores the extractor over the given engines.
+func Run(engines []*synth.Engine, cfg RunConfig) Result {
+	if cfg.SampleCount <= 0 {
+		cfg.SampleCount = 5
+	}
+	if cfg.PageCount <= 0 {
+		cfg.PageCount = 10
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var mu sync.Mutex
+	var total Result
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, e := range engines {
+		if cfg.MultiOnly && !e.MultiSection() {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(e *synth.Engine) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := runEngine(e, cfg)
+			mu.Lock()
+			total.SamplePages.Add(r.SamplePages)
+			total.TestPages.Add(r.TestPages)
+			mu.Unlock()
+		}(e)
+	}
+	wg.Wait()
+	return total
+}
+
+func runEngine(e *synth.Engine, cfg RunConfig) Result {
+	pages := e.Pages(cfg.PageCount)
+	var samples []*core.SamplePage
+	for _, gp := range pages[:cfg.SampleCount] {
+		samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ex := cfg.NewExtractor()
+	var res Result
+	if err := ex.Train(samples); err != nil {
+		// A failed training counts every actual section as missed.
+		for i, gp := range pages {
+			s := PageScore{Actual: len(gp.Truth.Sections)}
+			if i < cfg.SampleCount {
+				res.SamplePages.Add(s)
+			} else {
+				res.TestPages.Add(s)
+			}
+		}
+		return res
+	}
+	for i, gp := range pages {
+		secs := ex.Extract(gp.HTML, gp.Query)
+		s := ScorePage(gp.Truth, secs)
+		if i < cfg.SampleCount {
+			res.SamplePages.Add(s)
+		} else {
+			res.TestPages.Add(s)
+		}
+	}
+	return res
+}

@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"testing"
+
+	"mse/internal/core"
+	"mse/internal/synth"
+)
+
+// TestSeedStability guards against overfitting to the default test bed:
+// the pipeline must deliver comparable quality on test beds generated
+// from unrelated seeds.
+func TestSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed evaluation")
+	}
+	for _, seed := range []int64{7, 1234, 987654} {
+		engines := synth.GenerateTestbed(synth.Config{
+			Seed: seed, Engines: 30, MultiSection: 10, Queries: 10,
+		})
+		res := Run(engines, RunConfig{
+			SampleCount:  5,
+			PageCount:    10,
+			NewExtractor: func() Extractor { return NewMSE(core.DefaultOptions()) },
+		})
+		tt := res.Total()
+		t.Logf("seed %d: R-Perf %.1f%%  R-Tot %.1f%%  P-Tot %.1f%%  RecRec %.1f%%",
+			seed, 100*tt.RecallPerfect(), 100*tt.RecallTotal(),
+			100*tt.PrecisionTotal(), 100*tt.RecordRecall())
+		if tt.RecallTotal() < 0.72 {
+			t.Errorf("seed %d: total recall %.3f collapsed", seed, tt.RecallTotal())
+		}
+		if tt.PrecisionTotal() < 0.72 {
+			t.Errorf("seed %d: total precision %.3f collapsed", seed, tt.PrecisionTotal())
+		}
+		if tt.RecordRecall() < 0.95 {
+			t.Errorf("seed %d: record recall %.3f collapsed", seed, tt.RecordRecall())
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// samplePage builds an n-record result page in the table idiom.
+func samplePage(n int) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><head><title>t</title></head><body><h1>Site</h1>
+	<div><a href="/a">Home</a> | <a href="/b">Help</a></div><hr><h3>Results</h3><table>`)
+	for i := 0; i < n; i++ {
+		sb.WriteString(`<tr><td><a href="/doc/x"><b>Result Title Here</b></a> (1/2/2003)<br>
+		a snippet line with a number of words in it<br>
+		<font color="#008000">www.site.example/doc/x.html</font></td></tr>`)
+	}
+	sb.WriteString(`</table><hr><div>Copyright 2006.</div></body></html>`)
+	return sb.String()
+}
+
+func BenchmarkParse10Records(b *testing.B) {
+	src := samplePage(10)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(src)
+	}
+}
+
+func BenchmarkParse100Records(b *testing.B) {
+	src := samplePage(100)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(src)
+	}
+}
+
+func BenchmarkDecodeEntities(b *testing.B) {
+	src := strings.Repeat("a &amp; b &lt;c&gt; &#65; plain text without entities here ", 50)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		decodeEntities(src)
+	}
+}

@@ -1,0 +1,132 @@
+package htmlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities covers the entities that occur in practice on result pages.
+// Unknown entities are left verbatim, matching lenient browser behaviour
+// closely enough for extraction purposes.
+var namedEntities = map[string]rune{
+	"amp":    '&',
+	"lt":     '<',
+	"gt":     '>',
+	"quot":   '"',
+	"apos":   '\'',
+	"nbsp":   '\x20', // mapped to a plain space for line-text processing
+	"copy":   '©',
+	"reg":    '®',
+	"trade":  '™',
+	"mdash":  '—',
+	"ndash":  '–',
+	"hellip": '…',
+	"laquo":  '«',
+	"raquo":  '»',
+	"middot": '·',
+	"bull":   '•',
+	"lsquo":  '‘',
+	"rsquo":  '’',
+	"ldquo":  '“',
+	"rdquo":  '”',
+	"deg":    '°',
+	"frac12": '½',
+	"pound":  '£',
+	"euro":   '€',
+	"yen":    '¥',
+	"cent":   '¢',
+	"sect":   '§',
+	"para":   '¶',
+	"times":  '×',
+	"divide": '÷',
+	"plusmn": '±',
+}
+
+// decodeEntities replaces character references in s with their characters.
+// It handles named references (with or without the trailing semicolon for
+// the common ones), decimal references (&#160;) and hex references
+// (&#xA0;).
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		r, width := decodeOneEntity(s[i:])
+		if width == 0 {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		sb.WriteRune(r)
+		i += width
+	}
+	return sb.String()
+}
+
+// decodeOneEntity decodes the entity at the start of s (which begins with
+// '&').  It returns the decoded rune and the number of source bytes
+// consumed, or width 0 when s does not start a recognizable entity.
+func decodeOneEntity(s string) (rune, int) {
+	if len(s) < 3 {
+		return 0, 0
+	}
+	if s[1] == '#' {
+		j := 2
+		base := 10
+		if j < len(s) && (s[j] == 'x' || s[j] == 'X') {
+			base = 16
+			j++
+		}
+		start := j
+		for j < len(s) && isDigitInBase(s[j], base) {
+			j++
+		}
+		if j == start {
+			return 0, 0
+		}
+		n, err := strconv.ParseInt(s[start:j], base, 32)
+		if err != nil || n <= 0 {
+			return 0, 0
+		}
+		if j < len(s) && s[j] == ';' {
+			j++
+		}
+		return rune(n), j
+	}
+	// Named entity: letters up to ';' or a non-name byte.
+	j := 1
+	for j < len(s) && j < 10 && isAlphaNum(s[j]) {
+		j++
+	}
+	name := s[1:j]
+	r, ok := namedEntities[name]
+	if !ok {
+		return 0, 0
+	}
+	if j < len(s) && s[j] == ';' {
+		j++
+	}
+	return r, j
+}
+
+func isDigitInBase(c byte, base int) bool {
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	if base == 16 {
+		return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return false
+}
+
+func isAlphaNum(c byte) bool {
+	return isAlpha(c) || (c >= '0' && c <= '9')
+}

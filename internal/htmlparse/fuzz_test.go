@@ -1,0 +1,59 @@
+package htmlparse
+
+import (
+	"testing"
+
+	"mse/internal/dom"
+	"mse/internal/layout"
+)
+
+// FuzzParse exercises the tokenizer + tree builder + renderer on arbitrary
+// byte strings.  Run with `go test -fuzz=FuzzParse ./internal/htmlparse`;
+// the seed corpus below always runs under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body><p>hello</p></body></html>",
+		"<table><tr><td>a<td>b<tr><td>c</table>",
+		"<ul><li>x<li>y</ul>",
+		"<b><i>nested <p> wrong",
+		"<!-- comment --><!DOCTYPE html><p>x",
+		"<script>var a = '<td>';</script><p>after</p>",
+		`<a href="u" class='c' checked>t</a>`,
+		"&amp;&#65;&#x41;&bogus;&",
+		"<style>.x{color:red}</style><div class=x>styled</div>",
+		"\x00\xff<p>\x80</p>",
+		"<p>" + string(rune(0x10FFFF)) + "</p>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		if doc == nil || doc.Type != dom.DocumentNode {
+			t.Fatalf("Parse returned invalid document")
+		}
+		// The tree must be structurally consistent.
+		doc.Walk(func(n *dom.Node) bool {
+			prev := (*dom.Node)(nil)
+			for c := n.FirstChild; c != nil; c = c.NextSibling {
+				if c.Parent != n || c.PrevSibling != prev {
+					t.Fatalf("inconsistent links")
+				}
+				prev = c
+			}
+			if n.LastChild != prev {
+				t.Fatalf("LastChild wrong")
+			}
+			return true
+		})
+		// Rendering the parse result must never panic and must produce
+		// sequential line numbers.
+		page := layout.Render(doc)
+		for i, l := range page.Lines {
+			if l.Num != i {
+				t.Fatalf("line numbering broken")
+			}
+		}
+	})
+}

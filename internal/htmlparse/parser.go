@@ -1,0 +1,381 @@
+package htmlparse
+
+import (
+	"strings"
+
+	"mse/internal/dom"
+)
+
+// voidElements never have children; a start tag is a complete element.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// autoClose maps a tag to the set of open tags it implicitly closes when it
+// starts.  This captures the tag-soup recovery browsers apply to the
+// table/list/paragraph structures that dominate 2006-era result pages.
+var autoClose = map[string]map[string]bool{
+	"p":        {"p": true},
+	"li":       {"li": true},
+	"dt":       {"dt": true, "dd": true},
+	"dd":       {"dt": true, "dd": true},
+	"option":   {"option": true},
+	"optgroup": {"option": true, "optgroup": true},
+	"tr":       {"tr": true, "td": true, "th": true},
+	"td":       {"td": true, "th": true},
+	"th":       {"td": true, "th": true},
+	"thead":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
+	"tbody":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
+	"tfoot":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
+	"colgroup": {"colgroup": true},
+}
+
+// autoCloseBarrier stops the implicit-close scan: an implicit close never
+// crosses one of these container tags.
+var autoCloseBarrier = map[string]bool{
+	"table": true, "td": true, "th": true, "body": true, "html": true,
+	"#document": true, "div": true, "ul": true, "ol": true, "dl": true,
+	"select": true,
+}
+
+// barrierFor returns the boundary set for implicitly closing tag.  A <td>
+// must be able to close a previous <td> but its scan must not escape the
+// enclosing <tr>; similarly <li> must not escape <ul>.
+func barrierFor(tag string) map[string]bool {
+	switch tag {
+	case "td", "th":
+		return map[string]bool{"tr": true, "table": true, "body": true, "html": true, "#document": true}
+	case "tr":
+		return map[string]bool{"thead": true, "tbody": true, "tfoot": true, "table": true, "body": true, "html": true, "#document": true}
+	case "li":
+		return map[string]bool{"ul": true, "ol": true, "body": true, "html": true, "#document": true}
+	case "dt", "dd":
+		return map[string]bool{"dl": true, "body": true, "html": true, "#document": true}
+	default:
+		return autoCloseBarrier
+	}
+}
+
+// parser builds a dom tree from tokens.
+type parser struct {
+	doc   *dom.Node
+	stack []*dom.Node // open elements; stack[0] is the document
+}
+
+// Parse parses HTML source into a DOM tree rooted at a DocumentNode.  The
+// result always contains an <html> element with <head> and <body>
+// children; body-level content in the source is placed under <body>.
+// Parse never fails: like a browser, it recovers from malformed markup.
+func Parse(src string) *dom.Node {
+	p := &parser{doc: &dom.Node{Type: dom.DocumentNode}}
+	p.stack = []*dom.Node{p.doc}
+	z := newTokenizer(src)
+	for {
+		tok := z.next()
+		if tok.typ == eofToken {
+			break
+		}
+		p.consume(tok)
+	}
+	p.ensureStructure()
+	return p.doc
+}
+
+// top returns the innermost open element.
+func (p *parser) top() *dom.Node {
+	return p.stack[len(p.stack)-1]
+}
+
+func (p *parser) consume(tok token) {
+	switch tok.typ {
+	case doctypeToken:
+		p.doc.AppendChild(&dom.Node{Type: dom.DoctypeNode, Data: tok.data})
+	case commentToken:
+		p.top().AppendChild(&dom.Node{Type: dom.CommentNode, Data: tok.data})
+	case textToken:
+		p.addText(tok.data)
+	case startTagToken, selfClosingTagToken:
+		p.startTag(tok)
+	case endTagToken:
+		p.endTag(tok.data)
+	}
+}
+
+func (p *parser) addText(s string) {
+	if strings.TrimSpace(s) == "" {
+		// Whitespace-only runs are dropped; they carry no content and would
+		// otherwise pollute the content-line model.
+		return
+	}
+	switch p.top().Tag {
+	case "title", "style", "script", "textarea", "xmp":
+		// Raw-text content stays with its element even inside <head>.
+	default:
+		p.ensureBody()
+	}
+	parent := p.top()
+	// Text directly inside <table>, <tbody>, or <tr> is foster-parented
+	// into a cell-free container per browser behaviour; for extraction
+	// purposes placing it in an implied row/cell keeps document order.
+	switch parent.Tag {
+	case "table", "thead", "tbody", "tfoot", "tr":
+		p.impliedCell()
+		parent = p.top()
+	}
+	if parent.LastChild != nil && parent.LastChild.Type == dom.TextNode {
+		parent.LastChild.Data += s
+		return
+	}
+	parent.AppendChild(&dom.Node{Type: dom.TextNode, Data: s})
+}
+
+// impliedCell opens the implied tr/td needed to place phrasing content that
+// appears directly inside table structure.
+func (p *parser) impliedCell() {
+	switch p.top().Tag {
+	case "table":
+		p.push("tbody", nil)
+		p.push("tr", nil)
+		p.push("td", nil)
+	case "thead", "tbody", "tfoot":
+		p.push("tr", nil)
+		p.push("td", nil)
+	case "tr":
+		p.push("td", nil)
+	}
+}
+
+func (p *parser) startTag(tok token) {
+	name := tok.data
+	switch name {
+	case "html":
+		// Adopt attributes onto the (single) html element.
+		h := p.htmlElement()
+		for _, a := range tok.attrs {
+			if _, ok := h.Attr(a.key); !ok {
+				h.Attrs = append(h.Attrs, dom.Attr{Key: a.key, Val: a.val})
+			}
+		}
+		return
+	case "head":
+		p.ensureHead()
+		return
+	case "body":
+		p.ensureBody()
+		b := p.bodyElement()
+		for _, a := range tok.attrs {
+			if _, ok := b.Attr(a.key); !ok {
+				b.Attrs = append(b.Attrs, dom.Attr{Key: a.key, Val: a.val})
+			}
+		}
+		return
+	}
+	if isHeadOnly(name) {
+		p.ensureHead()
+	} else {
+		p.ensureBody()
+	}
+	// Implicit closes (e.g. <li> closes an open <li>).
+	if closes, ok := autoClose[name]; ok {
+		p.implicitClose(closes, barrierFor(name))
+	}
+	// Structural implications for table parts.
+	switch name {
+	case "tr":
+		if p.top().Tag == "table" {
+			p.push("tbody", nil)
+		}
+	case "td", "th":
+		switch p.top().Tag {
+		case "table":
+			p.push("tbody", nil)
+			p.push("tr", nil)
+		case "thead", "tbody", "tfoot":
+			p.push("tr", nil)
+		}
+	}
+	attrs := convertAttrs(tok.attrs)
+	if voidElements[name] || tok.typ == selfClosingTagToken {
+		n := &dom.Node{Type: dom.ElementNode, Tag: name, Attrs: attrs}
+		p.top().AppendChild(n)
+		return
+	}
+	p.push(name, attrs)
+}
+
+// implicitClose pops open elements whose tags are in closes, stopping at
+// any barrier tag.  Formatting elements and open <p> elements in the way
+// are popped as well (they have implied end tags in this position).
+func (p *parser) implicitClose(closes, barrier map[string]bool) {
+	for len(p.stack) > 1 {
+		label := p.top().Label()
+		if barrier[label] {
+			return
+		}
+		if closes[label] || isFormatting(label) || label == "p" {
+			p.stack = p.stack[:len(p.stack)-1]
+			continue
+		}
+		// A structural element that is neither closed nor a barrier stops
+		// the scan.
+		return
+	}
+}
+
+// isFormatting reports whether an open tag may be implicitly popped while
+// searching for an auto-close target (inline formatting elements).
+func isFormatting(tag string) bool {
+	switch tag {
+	case "a", "b", "i", "u", "em", "strong", "font", "span", "small", "big",
+		"s", "strike", "tt", "code", "sub", "sup", "abbr", "cite", "label", "nobr":
+		return true
+	}
+	return false
+}
+
+func (p *parser) push(tag string, attrs []dom.Attr) {
+	n := &dom.Node{Type: dom.ElementNode, Tag: tag, Attrs: attrs}
+	p.top().AppendChild(n)
+	p.stack = append(p.stack, n)
+}
+
+func (p *parser) endTag(name string) {
+	if voidElements[name] {
+		return // </br> and friends are ignored
+	}
+	// Find the matching open element.
+	for i := len(p.stack) - 1; i >= 1; i-- {
+		if p.stack[i].Tag == name {
+			p.stack = p.stack[:i]
+			return
+		}
+		// Do not let a stray end tag close structural containers.
+		if p.stack[i].Tag == "body" || p.stack[i].Tag == "html" {
+			return
+		}
+	}
+	// No matching open tag: ignore, as browsers do.
+}
+
+func convertAttrs(in []attr) []dom.Attr {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]dom.Attr, len(in))
+	for i, a := range in {
+		out[i] = dom.Attr{Key: a.key, Val: a.val}
+	}
+	return out
+}
+
+func isHeadOnly(tag string) bool {
+	switch tag {
+	case "title", "meta", "link", "base", "style":
+		return true
+	}
+	return false
+}
+
+// htmlElement returns the page's <html> element, creating it if needed.
+func (p *parser) htmlElement() *dom.Node {
+	for c := p.doc.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.ElementNode && c.Tag == "html" {
+			return c
+		}
+	}
+	h := &dom.Node{Type: dom.ElementNode, Tag: "html"}
+	p.doc.AppendChild(h)
+	if len(p.stack) == 1 {
+		p.stack = append(p.stack, h)
+	}
+	return h
+}
+
+func (p *parser) headElement() *dom.Node {
+	h := p.htmlElement()
+	for c := h.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.ElementNode && c.Tag == "head" {
+			return c
+		}
+	}
+	head := &dom.Node{Type: dom.ElementNode, Tag: "head"}
+	h.AppendChild(head)
+	return head
+}
+
+func (p *parser) bodyElement() *dom.Node {
+	h := p.htmlElement()
+	for c := h.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.ElementNode && c.Tag == "body" {
+			return c
+		}
+	}
+	body := &dom.Node{Type: dom.ElementNode, Tag: "body"}
+	h.AppendChild(body)
+	return body
+}
+
+// ensureHead makes the head element current when only document/html are
+// open.
+func (p *parser) ensureHead() {
+	if len(p.stack) > 2 {
+		return // already inside some container
+	}
+	head := p.headElement()
+	h := p.htmlElement()
+	p.stack = []*dom.Node{p.doc, h, head}
+}
+
+// ensureBody makes sure body exists and is the innermost scope when the
+// parser is still at document/html/head level.
+func (p *parser) ensureBody() {
+	// If we are inside head (or nothing), switch to body.
+	cur := p.top()
+	switch cur.Label() {
+	case "#document", "html", "head", "title", "style", "script", "meta", "link", "base":
+		body := p.bodyElement()
+		h := p.htmlElement()
+		p.stack = []*dom.Node{p.doc, h, body}
+	}
+}
+
+// ensureStructure guarantees the html/head/body skeleton exists even for
+// empty input.
+func (p *parser) ensureStructure() {
+	p.headElement()
+	p.bodyElement()
+	// head must precede body; reorder if the source created body first.
+	h := p.htmlElement()
+	var head, body *dom.Node
+	for c := h.FirstChild; c != nil; c = c.NextSibling {
+		switch c.Tag {
+		case "head":
+			head = c
+		case "body":
+			body = c
+		}
+	}
+	if head != nil && body != nil && body.NextSibling != nil {
+		// body not last among head/body: only fix the head-after-body case.
+		if head.PrevSibling == body {
+			h.RemoveChild(head)
+			// Re-insert head before body.
+			reinsertBefore(h, head, body)
+		}
+	}
+}
+
+// reinsertBefore inserts n as a child of parent immediately before ref.
+func reinsertBefore(parent, n, ref *dom.Node) {
+	n.Parent = parent
+	n.NextSibling = ref
+	n.PrevSibling = ref.PrevSibling
+	if ref.PrevSibling != nil {
+		ref.PrevSibling.NextSibling = n
+	} else {
+		parent.FirstChild = n
+	}
+	ref.PrevSibling = n
+}

@@ -1,0 +1,381 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mse/internal/dom"
+)
+
+// outline renders the element structure of a tree for compact assertions,
+// e.g. "html(head(title),body(p))".
+func outline(n *dom.Node) string {
+	var sb strings.Builder
+	var rec func(*dom.Node)
+	rec = func(n *dom.Node) {
+		switch n.Type {
+		case dom.TextNode:
+			sb.WriteString("'" + strings.TrimSpace(n.Data) + "'")
+			return
+		case dom.CommentNode, dom.DoctypeNode:
+			return
+		case dom.ElementNode:
+			sb.WriteString(n.Tag)
+		}
+		kids := n.Children()
+		var parts []string
+		for _, c := range kids {
+			if c.Type == dom.CommentNode || c.Type == dom.DoctypeNode {
+				continue
+			}
+			var inner strings.Builder
+			save := sb
+			sb = inner
+			rec(c)
+			parts = append(parts, sb.String())
+			sb = save
+		}
+		// filter empties
+		var kept []string
+		for _, p := range parts {
+			if p != "" {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) > 0 {
+			sb.WriteString("(" + strings.Join(kept, ",") + ")")
+		}
+	}
+	if n.Type == dom.DocumentNode {
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			if c.Type == dom.ElementNode {
+				rec(c)
+			}
+		}
+	} else {
+		rec(n)
+	}
+	return sb.String()
+}
+
+func TestParseBasicStructure(t *testing.T) {
+	doc := Parse(`<html><head><title>T</title></head><body><p>hi</p></body></html>`)
+	want := "html(head(title('T')),body(p('hi')))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseImpliesSkeleton(t *testing.T) {
+	doc := Parse(`<p>hi</p>`)
+	want := "html(head,body(p('hi')))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	doc := Parse("")
+	if got := outline(doc); got != "html(head,body)" {
+		t.Fatalf("outline = %s", got)
+	}
+}
+
+func TestParseImpliedTBody(t *testing.T) {
+	doc := Parse(`<table><tr><td>a</td><td>b</td></tr></table>`)
+	want := "html(head,body(table(tbody(tr(td('a'),td('b'))))))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseAutoCloseRowsAndCells(t *testing.T) {
+	// No closing </td> or </tr>: browsers auto-close them.
+	doc := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	want := "html(head,body(table(tbody(tr(td('a'),td('b')),tr(td('c'))))))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseAutoCloseListItems(t *testing.T) {
+	doc := Parse(`<ul><li>one<li>two<li>three</ul>`)
+	want := "html(head,body(ul(li('one'),li('two'),li('three'))))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseAutoCloseParagraphs(t *testing.T) {
+	doc := Parse(`<p>one<p>two`)
+	want := "html(head,body(p('one'),p('two')))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseNestedListNotAutoClosed(t *testing.T) {
+	// An <li> inside a nested <ul> must not close the outer <li>.
+	doc := Parse(`<ul><li>a<ul><li>a1</li></ul></li><li>b</li></ul>`)
+	want := "html(head,body(ul(li('a',ul(li('a1'))),li('b'))))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	doc := Parse(`<p>a<br>b<hr><img src="x.gif"></p>`)
+	want := "html(head,body(p('a',br,'b',hr,img)))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseSelfClosingSyntax(t *testing.T) {
+	doc := Parse(`<div><span/>x</div>`)
+	want := "html(head,body(div(span,'x')))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := Parse(`<a HREF="http://example.com/?q=1&amp;p=2" class=result data-x='y z'>link</a>`)
+	as := doc.FindAll("a")
+	if len(as) != 1 {
+		t.Fatalf("want 1 <a>, got %d", len(as))
+	}
+	a := as[0]
+	if v, _ := a.Attr("href"); v != "http://example.com/?q=1&p=2" {
+		t.Fatalf("href = %q", v)
+	}
+	if v, _ := a.Attr("class"); v != "result" {
+		t.Fatalf("class = %q", v)
+	}
+	if v, _ := a.Attr("data-x"); v != "y z" {
+		t.Fatalf("data-x = %q", v)
+	}
+}
+
+func TestParseBooleanAttribute(t *testing.T) {
+	doc := Parse(`<input type=checkbox checked>`)
+	in := doc.FindAll("input")[0]
+	if _, ok := in.Attr("checked"); !ok {
+		t.Fatalf("checked attribute missing")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	doc := Parse(`<body><!-- hidden --><p>x</p></body>`)
+	found := false
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.CommentNode && strings.Contains(n.Data, "hidden") {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("comment node missing")
+	}
+	if got := outline(doc); got != "html(head,body(p('x')))" {
+		t.Fatalf("outline = %s", got)
+	}
+}
+
+func TestParseDoctype(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><html><body>x</body></html>`)
+	if doc.FirstChild.Type != dom.DoctypeNode {
+		t.Fatalf("first child should be doctype, got %v", doc.FirstChild.Type)
+	}
+}
+
+func TestParseScriptRawText(t *testing.T) {
+	doc := Parse(`<body><script>if (a<b) { x = "<td>"; }</script><p>after</p></body>`)
+	scripts := doc.FindAll("script")
+	if len(scripts) != 1 {
+		t.Fatalf("want 1 script, got %d", len(scripts))
+	}
+	if !strings.Contains(scripts[0].TextContent(), `x = "<td>"`) {
+		t.Fatalf("script content mangled: %q", scripts[0].TextContent())
+	}
+	if len(doc.FindAll("td")) != 0 {
+		t.Fatalf("script content leaked elements into the tree")
+	}
+	if len(doc.FindAll("p")) != 1 {
+		t.Fatalf("content after script lost")
+	}
+}
+
+func TestParseTitleInHead(t *testing.T) {
+	doc := Parse(`<html><head><title>My Title</title></head><body>b</body></html>`)
+	want := "html(head(title('My Title')),body('b'))"
+	if got := outline(doc); got != want {
+		t.Fatalf("outline = %s, want %s", got, want)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := Parse(`<p>a &amp; b &lt;c&gt; &#65; &#x42; &nbsp;d &unknown;</p>`)
+	txt := doc.FindAll("p")[0].TextContent()
+	if !strings.Contains(txt, "a & b <c> A B") {
+		t.Fatalf("entities not decoded: %q", txt)
+	}
+	if !strings.Contains(txt, "&unknown;") {
+		t.Fatalf("unknown entity should stay verbatim: %q", txt)
+	}
+}
+
+func TestParseStrayEndTagsIgnored(t *testing.T) {
+	doc := Parse(`<body></div><p>x</p></span></body>`)
+	if got := outline(doc); got != "html(head,body(p('x')))" {
+		t.Fatalf("outline = %s", got)
+	}
+}
+
+func TestParseUnclosedFormattingTags(t *testing.T) {
+	doc := Parse(`<body><b>bold <i>both</body>`)
+	if got := doc.TextContent(); got != "bold both" {
+		t.Fatalf("text = %q", got)
+	}
+	if len(doc.FindAll("b")) != 1 || len(doc.FindAll("i")) != 1 {
+		t.Fatalf("formatting elements missing")
+	}
+}
+
+func TestParseTextDirectlyInTableGetsImpliedCell(t *testing.T) {
+	doc := Parse(`<table>loose<tr><td>a</td></tr></table>`)
+	// The loose text must not vanish and must stay in document order.
+	if got := doc.TextContent(); got != "loose a" {
+		t.Fatalf("text = %q, want %q", got, "loose a")
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	var sb strings.Builder
+	const depth = 200
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<div>")
+	}
+	sb.WriteString("x")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</div>")
+	}
+	doc := Parse(sb.String())
+	if got := len(doc.FindAll("div")); got != depth {
+		t.Fatalf("divs = %d, want %d", got, depth)
+	}
+	if doc.TextContent() != "x" {
+		t.Fatalf("text lost in deep nesting")
+	}
+}
+
+func TestParseCaseInsensitiveTags(t *testing.T) {
+	doc := Parse(`<TABLE><TR><TD>x</TD></TR></TABLE>`)
+	if len(doc.FindAll("table")) != 1 {
+		t.Fatalf("uppercase tags not normalized")
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	inputs := []string{
+		"<", "<>", "< >", "<a", "<a href", "<a href=", `<a href="x`,
+		"</", "</>", "<!", "<!-", "<!--", "<!-- x", "<![CDATA[x]]>",
+		"<p><table></p></table>", strings.Repeat("<<<>>>", 100),
+		"<script>never closed", "<b></b></b></b>",
+	}
+	for _, in := range inputs {
+		doc := Parse(in)
+		if doc == nil {
+			t.Fatalf("Parse(%q) returned nil", in)
+		}
+	}
+}
+
+func TestQuickParseTotality(t *testing.T) {
+	// Property: Parse terminates and yields a tree with the html/head/body
+	// skeleton for arbitrary input bytes.
+	f := func(b []byte) bool {
+		doc := Parse(string(b))
+		if doc == nil || doc.Type != dom.DocumentNode {
+			return false
+		}
+		var html *dom.Node
+		for c := doc.FirstChild; c != nil; c = c.NextSibling {
+			if c.Type == dom.ElementNode && c.Tag == "html" {
+				html = c
+			}
+		}
+		if html == nil {
+			return false
+		}
+		hasHead, hasBody := false, false
+		for c := html.FirstChild; c != nil; c = c.NextSibling {
+			switch c.Tag {
+			case "head":
+				hasHead = true
+			case "body":
+				hasBody = true
+			}
+		}
+		return hasHead && hasBody
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseTreeConsistency(t *testing.T) {
+	// Property: every child's Parent pointer is correct and sibling links
+	// are consistent after parsing arbitrary tag soup built from a small
+	// alphabet of fragments.
+	frags := []string{"<table>", "</table>", "<tr>", "<td>", "text", "<li>",
+		"<ul>", "</ul>", "<p>", "<b>", "</b>", "<br>", "<a href=x>", "</a>"}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(frags[int(p)%len(frags)])
+		}
+		doc := Parse(sb.String())
+		ok := true
+		doc.Walk(func(n *dom.Node) bool {
+			prev := (*dom.Node)(nil)
+			for c := n.FirstChild; c != nil; c = c.NextSibling {
+				if c.Parent != n {
+					ok = false
+				}
+				if c.PrevSibling != prev {
+					ok = false
+				}
+				prev = c
+			}
+			if n.LastChild != prev {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEntitiesTable(t *testing.T) {
+	cases := map[string]string{
+		"a &amp; b":    "a & b",
+		"&lt;tag&gt;":  "<tag>",
+		"&#65;&#x41;":  "AA",
+		"&nbsp;":       " ",
+		"&bogus;":      "&bogus;",
+		"&":            "&",
+		"&#;":          "&#;",
+		"100% &copy; ": "100% © ",
+		"&amp&amp;":    "&&", // missing semicolon tolerated
+	}
+	for in, want := range cases {
+		if got := decodeEntities(in); got != want {
+			t.Errorf("decodeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package htmlparse implements an HTML tokenizer and tree builder that
+// turns real-world (tag-soup) HTML into dom.Node trees.  The MSE paper
+// operates on DOM trees of search-engine result pages; since the module is
+// stdlib-only, the parser is implemented here from scratch.  It follows the
+// spirit of the WHATWG algorithm where it matters for result pages:
+// case-insensitive tags, quoted/unquoted attributes, void elements,
+// raw-text elements (script/style/textarea/title), implied <html>/<head>/
+// <body> structure, implied <tbody>, and auto-closing of <p>, <li>, <tr>,
+// <td>, <th>, <option>, <dt>/<dd> and table sections.
+package htmlparse
+
+import (
+	"strings"
+)
+
+// tokenType enumerates tokenizer outputs.
+type tokenType int
+
+const (
+	textToken tokenType = iota
+	startTagToken
+	endTagToken
+	selfClosingTagToken
+	commentToken
+	doctypeToken
+	eofToken
+)
+
+// token is a single tokenizer output.
+type token struct {
+	typ   tokenType
+	data  string // tag name (lowercase) or text/comment content
+	attrs []attr
+}
+
+type attr struct {
+	key string
+	val string
+}
+
+// tokenizer scans HTML source into tokens.
+type tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, means the tokenizer is inside a raw-text
+	// element and consumes everything up to the matching close tag.
+	rawTag string
+}
+
+func newTokenizer(src string) *tokenizer {
+	return &tokenizer{src: src}
+}
+
+// rawTextElements consume their content without interpreting markup.
+var rawTextElements = map[string]bool{
+	"script":   true,
+	"style":    true,
+	"textarea": true,
+	"title":    true,
+	"xmp":      true,
+}
+
+// next returns the next token.
+func (z *tokenizer) next() token {
+	if z.pos >= len(z.src) {
+		return token{typ: eofToken}
+	}
+	if z.rawTag != "" {
+		return z.rawText()
+	}
+	if z.src[z.pos] == '<' {
+		return z.tag()
+	}
+	return z.text()
+}
+
+// text scans character data up to the next '<'.
+func (z *tokenizer) text() token {
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return token{typ: textToken, data: decodeEntities(z.src[start:z.pos])}
+}
+
+// rawText scans the content of a raw-text element up to its end tag.
+func (z *tokenizer) rawText() token {
+	closing := "</" + z.rawTag
+	low := strings.ToLower(z.src[z.pos:])
+	idx := strings.Index(low, closing)
+	if idx < 0 {
+		// Unterminated raw text: consume the rest of the input.
+		data := z.src[z.pos:]
+		z.pos = len(z.src)
+		z.rawTag = ""
+		return token{typ: textToken, data: data}
+	}
+	data := z.src[z.pos : z.pos+idx]
+	z.pos += idx
+	z.rawTag = ""
+	if data == "" {
+		// Nothing between the open and close tag; emit the close tag.
+		return z.tag()
+	}
+	return token{typ: textToken, data: data}
+}
+
+// tag scans a markup construct starting at '<'.
+func (z *tokenizer) tag() token {
+	// Invariant: z.src[z.pos] == '<'.
+	if strings.HasPrefix(z.src[z.pos:], "<!--") {
+		return z.comment()
+	}
+	if len(z.src) > z.pos+1 {
+		c := z.src[z.pos+1]
+		if c == '!' || c == '?' {
+			return z.markupDeclaration()
+		}
+		if c == '/' {
+			return z.endTag()
+		}
+		if isAlpha(c) {
+			return z.startTag()
+		}
+	}
+	// A lone '<' followed by non-tag material is text.
+	z.pos++
+	return token{typ: textToken, data: "<"}
+}
+
+func (z *tokenizer) comment() token {
+	z.pos += len("<!--")
+	end := strings.Index(z.src[z.pos:], "-->")
+	var data string
+	if end < 0 {
+		data = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		data = z.src[z.pos : z.pos+end]
+		z.pos += end + len("-->")
+	}
+	return token{typ: commentToken, data: data}
+}
+
+func (z *tokenizer) markupDeclaration() token {
+	// <!DOCTYPE ...> or <!...> or <?...>: consume through '>'.
+	start := z.pos
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	if end < 0 {
+		z.pos = len(z.src)
+	} else {
+		z.pos += end + 1
+	}
+	body := z.src[start:z.pos]
+	if len(body) >= 9 && strings.EqualFold(body[:9], "<!doctype") {
+		return token{typ: doctypeToken, data: strings.TrimSpace(strings.Trim(body[9:], "<>"))}
+	}
+	return token{typ: commentToken, data: body}
+}
+
+func (z *tokenizer) endTag() token {
+	z.pos += 2 // consume "</"
+	start := z.pos
+	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	name := strings.ToLower(z.src[start:z.pos])
+	// Skip to '>' tolerant of stray attributes on end tags.
+	for z.pos < len(z.src) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	if z.pos < len(z.src) {
+		z.pos++
+	}
+	return token{typ: endTagToken, data: name}
+}
+
+func (z *tokenizer) startTag() token {
+	z.pos++ // consume '<'
+	start := z.pos
+	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	name := strings.ToLower(z.src[start:z.pos])
+	attrs, selfClosing := z.attributes()
+	typ := startTagToken
+	if selfClosing {
+		typ = selfClosingTagToken
+	}
+	if typ == startTagToken && rawTextElements[name] {
+		z.rawTag = name
+	}
+	return token{typ: typ, data: name, attrs: attrs}
+}
+
+// attributes scans attributes up to (and including) the closing '>'.
+func (z *tokenizer) attributes() (attrs []attr, selfClosing bool) {
+	for {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			return attrs, false
+		}
+		switch z.src[z.pos] {
+		case '>':
+			z.pos++
+			return attrs, false
+		case '/':
+			z.pos++
+			if z.pos < len(z.src) && z.src[z.pos] == '>' {
+				z.pos++
+				return attrs, true
+			}
+			continue
+		}
+		// Attribute name.
+		start := z.pos
+		for z.pos < len(z.src) {
+			c := z.src[z.pos]
+			if c == '=' || c == '>' || c == '/' || isSpace(c) {
+				break
+			}
+			z.pos++
+		}
+		key := strings.ToLower(z.src[start:z.pos])
+		if key == "" {
+			z.pos++ // skip stray byte
+			continue
+		}
+		z.skipSpace()
+		val := ""
+		if z.pos < len(z.src) && z.src[z.pos] == '=' {
+			z.pos++
+			z.skipSpace()
+			val = z.attrValue()
+		}
+		attrs = append(attrs, attr{key: key, val: val})
+	}
+}
+
+func (z *tokenizer) attrValue() string {
+	if z.pos >= len(z.src) {
+		return ""
+	}
+	c := z.src[z.pos]
+	if c == '"' || c == '\'' {
+		z.pos++
+		start := z.pos
+		for z.pos < len(z.src) && z.src[z.pos] != c {
+			z.pos++
+		}
+		val := z.src[start:z.pos]
+		if z.pos < len(z.src) {
+			z.pos++
+		}
+		return decodeEntities(val)
+	}
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == '>' || isSpace(c) {
+			break
+		}
+		z.pos++
+	}
+	return decodeEntities(z.src[start:z.pos])
+}
+
+func (z *tokenizer) skipSpace() {
+	for z.pos < len(z.src) && isSpace(z.src[z.pos]) {
+		z.pos++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isAlpha(c) || (c >= '0' && c <= '9') || c == '-' || c == '_' || c == ':'
+}

@@ -1,0 +1,45 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/htmlparse"
+)
+
+func benchPage(n int) string {
+	var sb strings.Builder
+	sb.WriteString(`<html><body><h1>Site</h1><h3>Results</h3><table>`)
+	for i := 0; i < n; i++ {
+		sb.WriteString(`<tr><td><a href="/doc"><b>Result Title</b></a><br>
+		snippet line with some words<br>
+		<font color="#008000">www.site.example/doc.html</font></td></tr>`)
+	}
+	sb.WriteString(`</table></body></html>`)
+	return sb.String()
+}
+
+func BenchmarkRender10Records(b *testing.B) {
+	doc := htmlparse.Parse(benchPage(10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Render(doc)
+	}
+}
+
+func BenchmarkRender100Records(b *testing.B) {
+	doc := htmlparse.Parse(benchPage(100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Render(doc)
+	}
+}
+
+func BenchmarkForestLookup(b *testing.B) {
+	p := Render(htmlparse.Parse(benchPage(100)))
+	n := len(p.Lines)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forest(n/4, 3*n/4)
+	}
+}

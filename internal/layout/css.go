@@ -1,0 +1,172 @@
+package layout
+
+import (
+	"strings"
+
+	"mse/internal/dom"
+)
+
+// The layout simulator honours a small but practically sufficient subset
+// of CSS: rules from <style> blocks with simple selectors (tag, .class,
+// tag.class, #id, and comma lists thereof), cascading in document order,
+// with inline style="" attributes applied last.  Descendant/child
+// combinators and pseudo-classes are ignored, as are properties other
+// than the text attributes (font-family, font-size, font-weight,
+// font-style, color, text-decoration) and margin-left.
+
+// cssRule is one parsed rule: a simple selector plus its declarations.
+type cssRule struct {
+	tag   string // required element tag, or ""
+	class string // required class, or ""
+	id    string // required id, or ""
+	decls string // raw declaration list, applied via applyInlineStyle
+}
+
+// stylesheet is the ordered list of rules on a page.
+type stylesheet struct {
+	rules []cssRule
+}
+
+// collectStylesheet parses every <style> element of the document.
+func collectStylesheet(doc *dom.Node) *stylesheet {
+	sheet := &stylesheet{}
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode && n.Tag == "style" {
+			sheet.parse(n.TextContent())
+			return false
+		}
+		return true
+	})
+	return sheet
+}
+
+// parse adds the rules of one CSS source block.
+func (s *stylesheet) parse(src string) {
+	src = stripCSSComments(src)
+	for len(src) > 0 {
+		open := strings.IndexByte(src, '{')
+		if open < 0 {
+			return
+		}
+		closeIdx := strings.IndexByte(src[open:], '}')
+		if closeIdx < 0 {
+			return
+		}
+		selectors := src[:open]
+		decls := src[open+1 : open+closeIdx]
+		src = src[open+closeIdx+1:]
+		for _, sel := range strings.Split(selectors, ",") {
+			if r, ok := parseSimpleSelector(strings.TrimSpace(sel)); ok {
+				r.decls = decls
+				s.rules = append(s.rules, r)
+			}
+		}
+	}
+}
+
+// parseSimpleSelector handles tag, .class, #id, and tag.class forms.
+// Selectors with combinators (spaces, >, +) or pseudo-classes are skipped.
+func parseSimpleSelector(sel string) (cssRule, bool) {
+	if sel == "" || strings.ContainsAny(sel, " >+~:[") {
+		return cssRule{}, false
+	}
+	var r cssRule
+	rest := sel
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		r.id = rest[i+1:]
+		rest = rest[:i]
+		if j := strings.IndexByte(r.id, '.'); j >= 0 {
+			r.class = r.id[j+1:]
+			r.id = r.id[:j]
+		}
+	}
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		r.class = rest[i+1:]
+		rest = rest[:i]
+	}
+	r.tag = strings.ToLower(rest)
+	if r.tag == "*" {
+		r.tag = ""
+	}
+	if r.tag == "" && r.class == "" && r.id == "" {
+		return cssRule{}, false
+	}
+	return r, true
+}
+
+// matches reports whether the rule applies to element n.
+func (r cssRule) matches(n *dom.Node) bool {
+	if r.tag != "" && n.Tag != r.tag {
+		return false
+	}
+	if r.id != "" {
+		id, _ := n.Attr("id")
+		if id != r.id {
+			return false
+		}
+	}
+	if r.class != "" {
+		cls, _ := n.Attr("class")
+		if !hasClass(cls, r.class) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasClass(attr, want string) bool {
+	for _, c := range strings.Fields(attr) {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+// applyText cascades the text-attribute declarations of the sheet's
+// matching rules onto the context (in rule order; later rules win).
+func (s *stylesheet) applyText(n *dom.Node, ctx context) context {
+	if s == nil || len(s.rules) == 0 || n.Type != dom.ElementNode {
+		return ctx
+	}
+	for _, r := range s.rules {
+		if r.matches(n) {
+			ctx = applyInlineStyle(r.decls, ctx)
+		}
+	}
+	return ctx
+}
+
+// marginLeft returns the margin-left (px) the sheet assigns to a block
+// element, 0 when none.
+func (s *stylesheet) marginLeft(n *dom.Node) int {
+	if s == nil {
+		return 0
+	}
+	margin := 0
+	for _, r := range s.rules {
+		if !r.matches(n) {
+			continue
+		}
+		if ml, ok := styleValue(r.decls, "margin-left"); ok {
+			if px, err := parsePx(ml); err == nil && px > 0 {
+				margin = px
+			}
+		}
+	}
+	return margin
+}
+
+func stripCSSComments(s string) string {
+	for {
+		i := strings.Index(s, "/*")
+		if i < 0 {
+			return s
+		}
+		j := strings.Index(s[i+2:], "*/")
+		if j < 0 {
+			return s[:i]
+		}
+		s = s[:i] + " " + s[i+2+j+2:]
+	}
+}

@@ -1,0 +1,409 @@
+// Package layout is the rendering substrate of the MSE reproduction.  The
+// paper (following ViNTs [29]) renders result pages in a browser and reads
+// visual features off the rendered page: content lines, their left x
+// coordinates (position codes), their appearance types (type codes) and
+// their text attributes (font, size, style, color).  This package replaces
+// the browser with a deterministic box-model layout simulator:
+//
+//   - block-level elements (div, p, tr, td, li, headings, …) open new
+//     content lines; inline elements (a, b, font, span, img, …) append to
+//     the current line;
+//   - tables divide the available width across columns, lists and
+//     blockquotes indent by fixed amounts, so aligned records receive equal
+//     position codes;
+//   - presentational tags (<b>, <i>, <font>, <h1>…) and inline style=""
+//     attributes cascade into text attributes.
+//
+// The MSE algorithms consume only the *relative* visual regularity of a
+// page (records aligned at the same x, headers in a distinct font), which
+// this simulator reproduces; absolute pixel fidelity is irrelevant.
+package layout
+
+import (
+	"strings"
+
+	"mse/internal/dom"
+)
+
+// LineType is the type code of a content line.  ViNTs defines eight basic
+// content-line appearance classes; these are the ones used here.
+type LineType int
+
+const (
+	// TextLine contains plain text only.
+	TextLine LineType = iota
+	// LinkLine contains anchor text only.
+	LinkLine
+	// LinkTextLine mixes anchor text and plain text.
+	LinkTextLine
+	// ImageLine contains images only.
+	ImageLine
+	// ImageTextLine mixes images with text or links.
+	ImageTextLine
+	// FormLine contains form controls.
+	FormLine
+	// RuleLine is a horizontal rule (<hr>).
+	RuleLine
+	// BlankLine is an empty line produced by consecutive explicit breaks.
+	BlankLine
+
+	numLineTypes = int(BlankLine) + 1
+)
+
+// String returns the conventional name of the line type.
+func (t LineType) String() string {
+	switch t {
+	case TextLine:
+		return "text"
+	case LinkLine:
+		return "link"
+	case LinkTextLine:
+		return "link-text"
+	case ImageLine:
+		return "image"
+	case ImageTextLine:
+		return "image-text"
+	case FormLine:
+		return "form"
+	case RuleLine:
+		return "rule"
+	case BlankLine:
+		return "blank"
+	}
+	return "unknown"
+}
+
+// NumLineTypes is the number of distinct content-line types.
+func NumLineTypes() int { return numLineTypes }
+
+// StyleFlags is a bit set of font styles.
+type StyleFlags uint8
+
+// Font style bits.
+const (
+	Bold StyleFlags = 1 << iota
+	Italic
+	Underline
+)
+
+// TextAttr is the quaternion ⟨f, w, s, c⟩ of Section 4.2: font family,
+// size, style and color of a piece of text.
+type TextAttr struct {
+	Font  string
+	Size  int
+	Style StyleFlags
+	Color string
+}
+
+// Line is a content line of a rendered page: a group of characters that
+// form one horizontal line, with its visual features and the DOM leaves
+// that produced it.
+type Line struct {
+	// Num is the index of the line within Page.Lines (the paper's line
+	// number, 0-based here).
+	Num int
+	// Text is the visible text of the line (link texts included, image alt
+	// texts included).
+	Text string
+	// X is the position code: the left-most x coordinate on the rendered
+	// page.
+	X int
+	// Type is the type code.
+	Type LineType
+	// Attrs is the line text attribute la: the set of distinct text
+	// attributes appearing in the line, in order of first appearance.
+	Attrs []TextAttr
+	// Leaves are the DOM leaf nodes (text, img, input, hr, …) that
+	// contribute to the line, in document order.
+	Leaves []*dom.Node
+	// Path is the tag path of the first contributing leaf; CPath is its
+	// compact form.  They locate the line within the page's DOM tree.
+	Path  dom.TagPath
+	CPath dom.CompactPath
+	// Links holds the href values of anchors contributing to the line.
+	Links []string
+}
+
+// HasAttr reports whether the line contains text with attribute a.
+func (l *Line) HasAttr(a TextAttr) bool {
+	for _, x := range l.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Page is a rendered result page: its DOM plus the ordered content lines,
+// with an index from DOM nodes to the line ranges they cover.
+type Page struct {
+	Doc   *dom.Node
+	Lines []Line
+
+	// span maps each DOM node that contains at least one rendered leaf to
+	// the [first, last] line indices it covers.
+	span map[*dom.Node][2]int
+}
+
+// Span returns the inclusive [first, last] line range covered by n and
+// whether n renders any content at all.
+func (p *Page) Span(n *dom.Node) (first, last int, ok bool) {
+	s, ok := p.span[n]
+	return s[0], s[1], ok
+}
+
+// Forest returns the minimal tag forest covering content lines
+// [start, end): the list of highest DOM nodes whose rendered content lies
+// entirely within the range, in document order.  This is the "tag forest
+// underneath" a record or section from Section 4.1.
+func (p *Page) Forest(start, end int) []*dom.Node {
+	if start >= end {
+		return nil
+	}
+	var out []*dom.Node
+	p.Doc.Walk(func(n *dom.Node) bool {
+		s, ok := p.span[n]
+		if !ok {
+			return true // no rendered content below; keep descending
+		}
+		if s[0] >= start && s[1] < end {
+			out = append(out, n)
+			return false // whole subtree inside: this is a forest root
+		}
+		if s[1] < start || s[0] >= end {
+			return false // disjoint: skip subtree
+		}
+		return true // partial overlap: descend
+	})
+	return out
+}
+
+// MinimalSubtree returns the deepest single DOM node covering all the
+// lines in [start, end), or nil when the range is empty.
+func (p *Page) MinimalSubtree(start, end int) *dom.Node {
+	var nodes []*dom.Node
+	for i := start; i < end && i < len(p.Lines); i++ {
+		nodes = append(nodes, p.Lines[i].Leaves...)
+	}
+	return dom.MinimalSubtree(nodes)
+}
+
+// SectionRoot returns the subtree node that stands for a section covering
+// [start, end): the single highest node whose rendered content is exactly
+// the range when one exists, and the deepest common ancestor otherwise.
+// Unlike MinimalSubtree, the result does not sink into the record when a
+// section happens to hold a single record — the wrapper pref must sit at
+// the same tree level regardless of how many records a query returned.
+func (p *Page) SectionRoot(start, end int) *dom.Node {
+	f := p.Forest(start, end)
+	if len(f) == 1 {
+		return f[0]
+	}
+	return p.MinimalSubtree(start, end)
+}
+
+// Render lays out a parsed page and extracts its content lines in preorder
+// (document) order, implementing Step 1 of the MSE algorithm.
+func Render(doc *dom.Node) *Page {
+	r := &renderer{
+		page:  &Page{Doc: doc, span: make(map[*dom.Node][2]int)},
+		sheet: collectStylesheet(doc),
+	}
+	ctx := context{
+		x:     bodyMarginX,
+		width: pageWidth - 2*bodyMarginX,
+		attr:  defaultAttr(),
+	}
+	r.walk(doc, ctx)
+	r.flush(false)
+	// Build node spans bottom-up from the leaves.
+	for i := range r.page.Lines {
+		for _, leaf := range r.page.Lines[i].Leaves {
+			for n := leaf; n != nil; n = n.Parent {
+				s, ok := r.page.span[n]
+				if !ok {
+					r.page.span[n] = [2]int{i, i}
+					continue
+				}
+				if i < s[0] {
+					s[0] = i
+				}
+				if i > s[1] {
+					s[1] = i
+				}
+				r.page.span[n] = s
+			}
+		}
+	}
+	return r.page
+}
+
+// Layout constants of the simulated viewport.
+const (
+	pageWidth   = 800
+	bodyMarginX = 8
+	indentStep  = 40 // ul/ol/blockquote/dd indentation
+)
+
+func defaultAttr() TextAttr {
+	return TextAttr{Font: "times", Size: 16, Color: "#000000"}
+}
+
+// context carries the inherited layout state during the DOM walk.
+type context struct {
+	x      int
+	width  int
+	attr   TextAttr
+	inLink bool
+	href   string
+}
+
+// renderer accumulates content lines.
+type renderer struct {
+	page  *Page
+	sheet *stylesheet
+
+	// Current-line accumulation state.
+	text    strings.Builder
+	leaves  []*dom.Node
+	attrs   []TextAttr
+	links   []string
+	lineX   int
+	started bool
+	hasText bool // plain (non-link) text present
+	hasLink bool
+	hasImg  bool
+	hasForm bool
+	isRule  bool
+
+	lastFlushWasBreak bool
+}
+
+// flush emits the accumulated line, if any.  explicitBreak marks flushes
+// caused by <br>, so that a second consecutive <br> yields a BlankLine.
+func (r *renderer) flush(explicitBreak bool) {
+	if !r.started {
+		if explicitBreak {
+			if r.lastFlushWasBreak {
+				// Two explicit breaks in a row: a visible blank line.
+				r.emit(Line{Text: "", X: r.lineX, Type: BlankLine})
+			}
+			r.lastFlushWasBreak = true
+		}
+		return
+	}
+	typ := r.lineType()
+	line := Line{
+		Text:   strings.Join(strings.Fields(r.text.String()), " "),
+		X:      r.lineX,
+		Type:   typ,
+		Attrs:  r.attrs,
+		Leaves: r.leaves,
+		Links:  r.links,
+	}
+	if len(line.Leaves) > 0 {
+		line.Path = dom.PathOf(line.Leaves[0])
+		line.CPath = line.Path.Compact()
+	}
+	r.emit(line)
+	r.text.Reset()
+	r.leaves = nil
+	r.attrs = nil
+	r.links = nil
+	r.started = false
+	r.hasText, r.hasLink, r.hasImg, r.hasForm, r.isRule = false, false, false, false, false
+	r.lastFlushWasBreak = explicitBreak
+}
+
+func (r *renderer) emit(l Line) {
+	l.Num = len(r.page.Lines)
+	r.page.Lines = append(r.page.Lines, l)
+}
+
+func (r *renderer) lineType() LineType {
+	switch {
+	case r.isRule:
+		return RuleLine
+	case r.hasForm:
+		return FormLine
+	case r.hasImg && (r.hasText || r.hasLink):
+		return ImageTextLine
+	case r.hasImg:
+		return ImageLine
+	case r.hasLink && r.hasText:
+		return LinkTextLine
+	case r.hasLink:
+		return LinkLine
+	default:
+		return TextLine
+	}
+}
+
+// add appends inline content to the current line.
+func (r *renderer) add(text string, leaf *dom.Node, ctx context, kind contentKind) {
+	if !r.started {
+		r.started = true
+		r.lineX = ctx.x
+	}
+	if text != "" {
+		if r.text.Len() > 0 && !endsWithSpace(r.text.String()) && !startsWithSpace(text) {
+			r.text.WriteByte(' ')
+		}
+		r.text.WriteString(text)
+	}
+	if leaf != nil {
+		r.leaves = append(r.leaves, leaf)
+	}
+	switch kind {
+	case kindText:
+		if ctx.inLink {
+			r.hasLink = true
+			if ctx.href != "" {
+				r.addLink(ctx.href)
+			}
+		} else {
+			r.hasText = true
+		}
+		if !containsAttr(r.attrs, ctx.attr) {
+			r.attrs = append(r.attrs, ctx.attr)
+		}
+	case kindImage:
+		r.hasImg = true
+	case kindForm:
+		r.hasForm = true
+	case kindRule:
+		r.isRule = true
+	}
+}
+
+func (r *renderer) addLink(href string) {
+	for _, l := range r.links {
+		if l == href {
+			return
+		}
+	}
+	r.links = append(r.links, href)
+}
+
+type contentKind int
+
+const (
+	kindText contentKind = iota
+	kindImage
+	kindForm
+	kindRule
+)
+
+func containsAttr(list []TextAttr, a TextAttr) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func startsWithSpace(s string) bool { return s != "" && (s[0] == ' ' || s[0] == '\t' || s[0] == '\n') }
+func endsWithSpace(s string) bool {
+	return s != "" && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\n')
+}

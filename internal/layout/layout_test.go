@@ -1,0 +1,348 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/htmlparse"
+)
+
+func render(src string) *Page {
+	return Render(htmlparse.Parse(src))
+}
+
+func lineTexts(p *Page) []string {
+	out := make([]string, len(p.Lines))
+	for i, l := range p.Lines {
+		out[i] = l.Text
+	}
+	return out
+}
+
+func TestRenderBlocksBecomeLines(t *testing.T) {
+	p := render(`<body><p>one</p><p>two</p><div>three</div></body>`)
+	got := lineTexts(p)
+	want := []string{"one", "two", "three"}
+	if len(got) != len(want) {
+		t.Fatalf("lines = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lines = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRenderInlineStaysOnOneLine(t *testing.T) {
+	p := render(`<body><p>a <b>bold</b> and <a href="x">link</a> end</p></body>`)
+	if len(p.Lines) != 1 {
+		t.Fatalf("want 1 line, got %d: %v", len(p.Lines), lineTexts(p))
+	}
+	l := p.Lines[0]
+	if l.Text != "a bold and link end" {
+		t.Fatalf("text = %q", l.Text)
+	}
+	if l.Type != LinkTextLine {
+		t.Fatalf("type = %v, want link-text", l.Type)
+	}
+	if len(l.Links) != 1 || l.Links[0] != "x" {
+		t.Fatalf("links = %v", l.Links)
+	}
+}
+
+func TestRenderLineTypes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want LineType
+	}{
+		{`<p>plain</p>`, TextLine},
+		{`<p><a href=u>only link</a></p>`, LinkLine},
+		{`<p>text <a href=u>link</a></p>`, LinkTextLine},
+		{`<p><img src=i></p>`, ImageLine},
+		{`<p><img src=i> caption</p>`, ImageTextLine},
+		{`<p><input type=text value=q></p>`, FormLine},
+		{`<hr>`, RuleLine},
+	}
+	for _, c := range cases {
+		p := render("<body>" + c.src + "</body>")
+		if len(p.Lines) != 1 {
+			t.Errorf("%s: got %d lines", c.src, len(p.Lines))
+			continue
+		}
+		if p.Lines[0].Type != c.want {
+			t.Errorf("%s: type = %v, want %v", c.src, p.Lines[0].Type, c.want)
+		}
+	}
+}
+
+func TestRenderBrSplitsLines(t *testing.T) {
+	p := render(`<body><p>first<br>second</p></body>`)
+	got := lineTexts(p)
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("lines = %v", got)
+	}
+}
+
+func TestRenderDoubleBrMakesBlankLine(t *testing.T) {
+	p := render(`<body><p>first<br><br>second</p></body>`)
+	if len(p.Lines) != 3 {
+		t.Fatalf("lines = %v", lineTexts(p))
+	}
+	if p.Lines[1].Type != BlankLine {
+		t.Fatalf("middle line type = %v, want blank", p.Lines[1].Type)
+	}
+}
+
+func TestRenderListIndentation(t *testing.T) {
+	p := render(`<body><p>top</p><ul><li>item1</li><li>item2</li></ul></body>`)
+	if len(p.Lines) != 3 {
+		t.Fatalf("lines = %v", lineTexts(p))
+	}
+	top, i1, i2 := p.Lines[0], p.Lines[1], p.Lines[2]
+	if i1.X != top.X+indentStep {
+		t.Fatalf("item x = %d, want %d", i1.X, top.X+indentStep)
+	}
+	if i1.X != i2.X {
+		t.Fatalf("list items should align: %d vs %d", i1.X, i2.X)
+	}
+}
+
+func TestRenderNestedListIndentsFurther(t *testing.T) {
+	p := render(`<body><ul><li>a</li><ul><li>b</li></ul></ul></body>`)
+	if p.Lines[1].X != p.Lines[0].X+indentStep {
+		t.Fatalf("nested item not indented further: %d vs %d", p.Lines[1].X, p.Lines[0].X)
+	}
+}
+
+func TestRenderTableColumns(t *testing.T) {
+	p := render(`<body><table><tr><td>left</td><td>right</td></tr><tr><td>l2</td><td>r2</td></tr></table></body>`)
+	if len(p.Lines) != 4 {
+		t.Fatalf("lines = %v", lineTexts(p))
+	}
+	// Cells in the same column must share x; second column is to the right.
+	if p.Lines[0].X != p.Lines[2].X {
+		t.Fatalf("column 0 misaligned: %d vs %d", p.Lines[0].X, p.Lines[2].X)
+	}
+	if p.Lines[1].X != p.Lines[3].X {
+		t.Fatalf("column 1 misaligned")
+	}
+	if p.Lines[1].X <= p.Lines[0].X {
+		t.Fatalf("column 1 should be right of column 0")
+	}
+}
+
+func TestRenderColspan(t *testing.T) {
+	p := render(`<body><table>
+		<tr><td colspan=2>wide</td></tr>
+		<tr><td>a</td><td>b</td></tr>
+	</table></body>`)
+	if len(p.Lines) != 3 {
+		t.Fatalf("lines = %v", lineTexts(p))
+	}
+	if p.Lines[0].X != p.Lines[1].X {
+		t.Fatalf("colspan cell should start at column 0")
+	}
+}
+
+func TestRenderTextAttributes(t *testing.T) {
+	p := render(`<body><p><b>Header</b></p><p><font color="red" size="2">note</font></p></body>`)
+	h := p.Lines[0]
+	if len(h.Attrs) != 1 || h.Attrs[0].Style&Bold == 0 {
+		t.Fatalf("bold attr missing: %+v", h.Attrs)
+	}
+	n := p.Lines[1]
+	if n.Attrs[0].Color != "#ff0000" {
+		t.Fatalf("color = %q, want #ff0000", n.Attrs[0].Color)
+	}
+	if n.Attrs[0].Size != fontSizeTable[2] {
+		t.Fatalf("size = %d, want %d", n.Attrs[0].Size, fontSizeTable[2])
+	}
+}
+
+func TestRenderHeadingAttr(t *testing.T) {
+	p := render(`<body><h2>Section Title</h2><p>body text</p></body>`)
+	h, b := p.Lines[0], p.Lines[1]
+	if h.Attrs[0].Size != headingSizes["h2"] || h.Attrs[0].Style&Bold == 0 {
+		t.Fatalf("heading attrs = %+v", h.Attrs)
+	}
+	if b.Attrs[0] == h.Attrs[0] {
+		t.Fatalf("heading and body should have distinct attrs")
+	}
+}
+
+func TestRenderInlineStyle(t *testing.T) {
+	p := render(`<body><p style="color: #ABC; font-weight: bold; font-size: 20px">styled</p></body>`)
+	a := p.Lines[0].Attrs[0]
+	if a.Color != "#aabbcc" {
+		t.Fatalf("color = %q", a.Color)
+	}
+	if a.Style&Bold == 0 {
+		t.Fatalf("bold missing")
+	}
+	if a.Size != 20 {
+		t.Fatalf("size = %d", a.Size)
+	}
+}
+
+func TestRenderMarginLeftIndents(t *testing.T) {
+	p := render(`<body><div>a</div><div style="margin-left: 25px">b</div></body>`)
+	if p.Lines[1].X != p.Lines[0].X+25 {
+		t.Fatalf("margin-left not applied: %d vs %d", p.Lines[1].X, p.Lines[0].X)
+	}
+}
+
+func TestRenderLinkAttr(t *testing.T) {
+	p := render(`<body><p><a href="u">go</a></p></body>`)
+	a := p.Lines[0].Attrs[0]
+	if a.Style&Underline == 0 || a.Color != "#0000ee" {
+		t.Fatalf("link attr = %+v", a)
+	}
+}
+
+func TestRenderMixedAttrsInOneLine(t *testing.T) {
+	p := render(`<body><p>plain <b>bold</b> <i>italic</i></p></body>`)
+	if len(p.Lines[0].Attrs) != 3 {
+		t.Fatalf("want 3 distinct attrs, got %+v", p.Lines[0].Attrs)
+	}
+}
+
+func TestRenderSkipsHeadAndScript(t *testing.T) {
+	p := render(`<html><head><title>T</title><style>.x{}</style></head>
+		<body><script>var x=1;</script><p>visible</p></body></html>`)
+	if len(p.Lines) != 1 || p.Lines[0].Text != "visible" {
+		t.Fatalf("lines = %v", lineTexts(p))
+	}
+}
+
+func TestRenderPathsPointIntoTree(t *testing.T) {
+	p := render(`<body><table><tr><td>a</td></tr><tr><td>b</td></tr></table></body>`)
+	for _, l := range p.Lines {
+		if len(l.Leaves) == 0 {
+			t.Fatalf("line %q has no leaves", l.Text)
+		}
+		if len(l.CPath) == 0 {
+			t.Fatalf("line %q has no compact path", l.Text)
+		}
+	}
+	// The two td text paths must be compatible (same C-node sequence).
+	if !p.Lines[0].CPath.Compatible(p.Lines[1].CPath) {
+		t.Fatalf("sibling-row cells should have compatible paths")
+	}
+}
+
+func TestSpanAndForest(t *testing.T) {
+	p := render(`<body>
+		<div id=s1><p>r1 line1</p><p>r1 line2</p></div>
+		<div id=s2><p>r2 line1</p></div>
+	</body>`)
+	if len(p.Lines) != 3 {
+		t.Fatalf("lines = %v", lineTexts(p))
+	}
+	divs := p.Doc.FindAll("div")
+	first, last, ok := p.Span(divs[0])
+	if !ok || first != 0 || last != 1 {
+		t.Fatalf("span(div1) = %d,%d,%v", first, last, ok)
+	}
+	forest := p.Forest(0, 2)
+	if len(forest) != 1 || forest[0] != divs[0] {
+		t.Fatalf("Forest(0,2) = %v, want [div1]", forest)
+	}
+	// A range covering only the first line should return the <p>, not the
+	// whole div.
+	forest = p.Forest(0, 1)
+	if len(forest) != 1 || forest[0].Tag != "p" {
+		t.Fatalf("Forest(0,1) = %v, want [p]", forest)
+	}
+	// The whole page range returns the single highest covering node, which
+	// is the document itself.
+	forest = p.Forest(0, 3)
+	if len(forest) != 1 || forest[0] != p.Doc {
+		t.Fatalf("Forest(0,3) = %v, want [#document]", forest)
+	}
+}
+
+func TestMinimalSubtree(t *testing.T) {
+	p := render(`<body><div><p>a</p><p>b</p></div><p>c</p></body>`)
+	st := p.MinimalSubtree(0, 2)
+	if st == nil || st.Tag != "div" {
+		t.Fatalf("MinimalSubtree(0,2) = %v", st)
+	}
+	st = p.MinimalSubtree(0, 3)
+	if st == nil || st.Tag != "body" {
+		t.Fatalf("MinimalSubtree(0,3) = %v", st)
+	}
+	if got := p.MinimalSubtree(1, 1); got != nil {
+		t.Fatalf("empty range should yield nil")
+	}
+}
+
+func TestRenderImageAltText(t *testing.T) {
+	p := render(`<body><p><img src=x alt="logo"> Store</p></body>`)
+	if p.Lines[0].Text != "logo Store" {
+		t.Fatalf("text = %q", p.Lines[0].Text)
+	}
+	if p.Lines[0].Type != ImageTextLine {
+		t.Fatalf("type = %v", p.Lines[0].Type)
+	}
+}
+
+func TestRenderHiddenInputInvisible(t *testing.T) {
+	p := render(`<body><p>q<input type=hidden value=v></p></body>`)
+	if p.Lines[0].Type != TextLine {
+		t.Fatalf("hidden input should not make a form line")
+	}
+}
+
+func TestRenderWhitespaceCollapsing(t *testing.T) {
+	p := render("<body><p>a \n\t  b&nbsp;&nbsp;c</p></body>")
+	if p.Lines[0].Text != "a b c" {
+		t.Fatalf("text = %q", p.Lines[0].Text)
+	}
+}
+
+func TestRenderRealisticResultPage(t *testing.T) {
+	// A miniature multi-section result page in the style of Figure 1.
+	src := `<html><body>
+	<div>Your search returned 578 matches.</div>
+	<h3>Encyclopedia</h3>
+	<table>
+	  <tr><td>1.</td><td><a href="/e1">Knee Injury</a><br>Knee Injury</td></tr>
+	  <tr><td>2.</td><td><a href="/e2">Ultrasound</a><br>Ultrasound</td></tr>
+	  <tr><td>3.</td><td><a href="/e3">Colic</a><br>Colic</td></tr>
+	</table>
+	<a href="/more1">Click Here for More</a>
+	<h3>News</h3>
+	<table>
+	  <tr><td>1.</td><td><a href="/n1">AMA Guides</a><br>Snippet one</td></tr>
+	  <tr><td>2.</td><td><a href="/n2">Mental Illness</a><br>Snippet two</td></tr>
+	</table>
+	</body></html>`
+	p := render(src)
+	txt := strings.Join(lineTexts(p), "|")
+	for _, want := range []string{"Encyclopedia", "Knee Injury", "News", "AMA Guides"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("missing %q in %s", want, txt)
+		}
+	}
+	// Record first lines ("1.", "2.", …) must share a position code, and
+	// their link lines must share another.
+	var numX, linkX []int
+	for _, l := range p.Lines {
+		if l.Text == "1." || l.Text == "2." || l.Text == "3." {
+			numX = append(numX, l.X)
+		}
+		if l.Type == LinkLine && strings.HasPrefix(l.Links[0], "/e") {
+			linkX = append(linkX, l.X)
+		}
+	}
+	for _, x := range numX[1:] {
+		if x != numX[0] {
+			t.Fatalf("record-number cells misaligned: %v", numX)
+		}
+	}
+	for _, x := range linkX[1:] {
+		if x != linkX[0] {
+			t.Fatalf("record links misaligned: %v", linkX)
+		}
+	}
+}

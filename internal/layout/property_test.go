@@ -1,0 +1,122 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mse/internal/dom"
+	"mse/internal/htmlparse"
+)
+
+// TestQuickRenderInvariants renders arbitrary tag soup assembled from a
+// realistic fragment alphabet and checks the structural invariants every
+// downstream stage relies on.
+func TestQuickRenderInvariants(t *testing.T) {
+	frags := []string{
+		"<table>", "</table>", "<tr>", "<td>", "text content", "<li>",
+		"<ul>", "</ul>", "<p>", "<b>", "</b>", "<br>", "<hr>",
+		`<a href="/x">link</a>`, `<img src=i alt=pic>`, "<div>", "</div>",
+		`<font color=red size=4>`, "</font>", "<h3>head</h3>",
+		`<div style="margin-left: 20px">`, "123", "&amp;",
+		`<style>.x{color:blue}</style>`, `<span class="x">styled</span>`,
+	}
+	f := func(picks []uint16) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(frags[int(p)%len(frags)])
+		}
+		page := Render(htmlparse.Parse(sb.String()))
+
+		// Invariant 1: line numbers are sequential from zero.
+		for i, l := range page.Lines {
+			if l.Num != i {
+				return false
+			}
+		}
+		// Invariant 2: every non-blank line has leaves; leaves appear in
+		// document order across lines.
+		lastLeafOrder := -1
+		order := map[*dom.Node]int{}
+		idx := 0
+		page.Doc.Walk(func(n *dom.Node) bool {
+			order[n] = idx
+			idx++
+			return true
+		})
+		for _, l := range page.Lines {
+			if l.Type != BlankLine && len(l.Leaves) == 0 {
+				return false
+			}
+			for _, leaf := range l.Leaves {
+				if order[leaf] < lastLeafOrder {
+					return false
+				}
+				lastLeafOrder = order[leaf]
+			}
+		}
+		// Invariant 3: spans are consistent — a node's span contains the
+		// spans of all its children that have one.
+		ok := true
+		page.Doc.Walk(func(n *dom.Node) bool {
+			ps, pe, pok := page.Span(n)
+			if !pok {
+				return true
+			}
+			for c := n.FirstChild; c != nil; c = c.NextSibling {
+				cs, ce, cok := page.Span(c)
+				if cok && (cs < ps || ce > pe) {
+					ok = false
+				}
+			}
+			return ok
+		})
+		if !ok {
+			return false
+		}
+		// Invariant 4: Forest of the full range tiles without overlap.
+		roots := page.Forest(0, len(page.Lines))
+		seen := map[*dom.Node]bool{}
+		for _, r := range roots {
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+			for _, o := range roots {
+				if o != r && (r.IsAncestorOf(o) || o.IsAncestorOf(r)) {
+					return false
+				}
+			}
+		}
+		// Invariant 5: X coordinates are non-negative and within a sane
+		// multiple of the viewport.
+		for _, l := range page.Lines {
+			if l.X < 0 || l.X > 10*pageWidth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRenderIdempotentOnSamePage checks that rendering the same document
+// twice yields identical lines (no hidden state).
+func TestRenderIdempotentOnSamePage(t *testing.T) {
+	doc := htmlparse.Parse(`<body><h3>S</h3><table>
+	<tr><td><a href=1>A</a><br>s1</td></tr>
+	<tr><td><a href=2>B</a><br>s2</td></tr></table></body>`)
+	a := Render(doc)
+	b := Render(doc)
+	if len(a.Lines) != len(b.Lines) {
+		t.Fatalf("line counts differ across renders")
+	}
+	for i := range a.Lines {
+		la, lb := a.Lines[i], b.Lines[i]
+		if la.Text != lb.Text || la.X != lb.X || la.Type != lb.Type {
+			t.Fatalf("line %d differs across renders", i)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package match provides the combinatorial substrates of Section 5.6 of
+// the MSE paper: the stable marriage algorithm [McVitie-Wilson, 17] —
+// modified to allow "no match" below a score threshold — used to pair
+// section instances between two sample pages, and the Bron-Kerbosch
+// algorithm [4] for enumerating the maximal cliques of the section
+// instance graph.
+package match
+
+import "sort"
+
+// StableMarriage computes a stable matching between n "proposers" and m
+// "acceptors" given a score function (higher is better).  Pairs with score
+// below threshold are never matched, which is the paper's modification for
+// allowing section instances to stay unmatched.  The result maps proposer
+// index to acceptor index (-1 for unmatched).
+func StableMarriage(n, m int, score func(i, j int) float64, threshold float64) []int {
+	// Preference lists restricted to above-threshold pairs.
+	prefs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		var list []int
+		for j := 0; j < m; j++ {
+			if score(i, j) >= threshold {
+				list = append(list, j)
+			}
+		}
+		sort.SliceStable(list, func(a, b int) bool {
+			return score(i, list[a]) > score(i, list[b])
+		})
+		prefs[i] = list
+	}
+	next := make([]int, n)      // next proposal index per proposer
+	engagedTo := make([]int, m) // acceptor -> proposer (-1 free)
+	for j := range engagedTo {
+		engagedTo[j] = -1
+	}
+	result := make([]int, n)
+	for i := range result {
+		result[i] = -1
+	}
+	free := make([]int, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		free = append(free, i)
+	}
+	for len(free) > 0 {
+		i := free[len(free)-1]
+		free = free[:len(free)-1]
+		for next[i] < len(prefs[i]) {
+			j := prefs[i][next[i]]
+			next[i]++
+			cur := engagedTo[j]
+			if cur == -1 {
+				engagedTo[j] = i
+				result[i] = j
+				break
+			}
+			if score(i, j) > score(cur, j) {
+				// j prefers i; cur becomes free again.
+				engagedTo[j] = i
+				result[i] = j
+				result[cur] = -1
+				free = append(free, cur)
+				break
+			}
+		}
+	}
+	return result
+}
+
+// Graph is a simple undirected graph over vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj []map[int]bool
+}
+
+// NewGraph creates an empty graph with n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{N: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// AddEdge adds an undirected edge between u and v (self-loops ignored).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaximalCliques enumerates all maximal cliques of size >= minSize using
+// Bron-Kerbosch with pivoting.  Cliques are returned with sorted vertices,
+// in deterministic order.
+func (g *Graph) MaximalCliques(minSize int) [][]int {
+	var out [][]int
+	var r []int
+	p := make([]int, 0, g.N)
+	for v := 0; v < g.N; v++ {
+		p = append(p, v)
+	}
+	var x []int
+	g.bronKerbosch(r, p, x, &out, minSize)
+	for _, c := range out {
+		sort.Ints(c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func (g *Graph) bronKerbosch(r, p, x []int, out *[][]int, minSize int) {
+	if len(p) == 0 && len(x) == 0 {
+		if len(r) >= minSize {
+			*out = append(*out, append([]int(nil), r...))
+		}
+		return
+	}
+	// Pivot: vertex in P ∪ X with the most neighbours in P.
+	pivot, best := -1, -1
+	for _, v := range p {
+		if d := g.countIn(v, p); d > best {
+			pivot, best = v, d
+		}
+	}
+	for _, v := range x {
+		if d := g.countIn(v, p); d > best {
+			pivot, best = v, d
+		}
+	}
+	var candidates []int
+	for _, v := range p {
+		if pivot == -1 || !g.adj[pivot][v] {
+			candidates = append(candidates, v)
+		}
+	}
+	pSet := toSet(p)
+	xSet := toSet(x)
+	for _, v := range candidates {
+		var np, nx []int
+		for u := range g.adj[v] {
+			if pSet[u] {
+				np = append(np, u)
+			}
+			if xSet[u] {
+				nx = append(nx, u)
+			}
+		}
+		sort.Ints(np)
+		sort.Ints(nx)
+		g.bronKerbosch(append(r, v), np, nx, out, minSize)
+		delete(pSet, v)
+		xSet[v] = true
+		p = removeOne(p, v)
+		x = append(x, v)
+	}
+}
+
+func (g *Graph) countIn(v int, set []int) int {
+	n := 0
+	for _, u := range set {
+		if g.adj[v][u] {
+			n++
+		}
+	}
+	return n
+}
+
+func toSet(s []int) map[int]bool {
+	m := make(map[int]bool, len(s))
+	for _, v := range s {
+		m[v] = true
+	}
+	return m
+}
+
+func removeOne(s []int, v int) []int {
+	out := make([]int, 0, len(s))
+	for _, u := range s {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package match
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStableMarriageBasic(t *testing.T) {
+	// 2x2 with clear preferences: 0<->0, 1<->1.
+	scores := [][]float64{
+		{0.9, 0.2},
+		{0.1, 0.8},
+	}
+	got := StableMarriage(2, 2, func(i, j int) float64 { return scores[i][j] }, 0.0)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("matching = %v", got)
+	}
+}
+
+func TestStableMarriageCompetition(t *testing.T) {
+	// Both proposers prefer acceptor 0; acceptor 0 prefers proposer 1.
+	scores := [][]float64{
+		{0.8, 0.5},
+		{0.9, 0.4},
+	}
+	got := StableMarriage(2, 2, func(i, j int) float64 { return scores[i][j] }, 0.0)
+	if got[1] != 0 {
+		t.Fatalf("acceptor 0 should go to proposer 1: %v", got)
+	}
+	if got[0] != 1 {
+		t.Fatalf("proposer 0 should fall back to acceptor 1: %v", got)
+	}
+}
+
+func TestStableMarriageThreshold(t *testing.T) {
+	scores := [][]float64{
+		{0.9, 0.1},
+		{0.1, 0.2},
+	}
+	got := StableMarriage(2, 2, func(i, j int) float64 { return scores[i][j] }, 0.5)
+	if got[0] != 0 {
+		t.Fatalf("above-threshold pair unmatched: %v", got)
+	}
+	if got[1] != -1 {
+		t.Fatalf("below-threshold pair matched: %v", got)
+	}
+}
+
+func TestStableMarriageUnevenSizes(t *testing.T) {
+	// 3 proposers, 1 acceptor: only the best gets it.
+	scores := []float64{0.3, 0.9, 0.6}
+	got := StableMarriage(3, 1, func(i, j int) float64 { return scores[i] }, 0.0)
+	want := []int{-1, 0, -1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("matching = %v, want %v", got, want)
+	}
+}
+
+func TestStableMarriageEmpty(t *testing.T) {
+	got := StableMarriage(0, 0, func(i, j int) float64 { return 0 }, 0.0)
+	if len(got) != 0 {
+		t.Fatalf("empty matching = %v", got)
+	}
+}
+
+func TestQuickStableMarriageIsStable(t *testing.T) {
+	// Property: no blocking pair — an unmatched-together (i, j) above
+	// threshold where both strictly prefer each other over their current
+	// partners.
+	f := func(seedRows []uint8) bool {
+		n := 4
+		m := 4
+		if len(seedRows) < n*m {
+			return true
+		}
+		score := func(i, j int) float64 {
+			return float64(seedRows[i*m+j]%100) / 100
+		}
+		const threshold = 0.2
+		res := StableMarriage(n, m, score, threshold)
+		partnerOf := make([]int, m)
+		for j := range partnerOf {
+			partnerOf[j] = -1
+		}
+		for i, j := range res {
+			if j >= 0 {
+				partnerOf[j] = i
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if score(i, j) < threshold || res[i] == j {
+					continue
+				}
+				iPrefers := res[i] == -1 || score(i, j) > score(i, res[i])
+				jPrefers := partnerOf[j] == -1 || score(i, j) > score(partnerOf[j], j)
+				if iPrefers && jPrefers {
+					return false // blocking pair
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximalCliquesTriangle(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	cliques := g.MaximalCliques(2)
+	want := [][]int{{0, 1, 2}, {2, 3}}
+	if !reflect.DeepEqual(cliques, want) {
+		t.Fatalf("cliques = %v, want %v", cliques, want)
+	}
+}
+
+func TestMaximalCliquesMinSizeFilter(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	// vertex 4 isolated
+	cliques := g.MaximalCliques(2)
+	if len(cliques) != 2 {
+		t.Fatalf("cliques = %v", cliques)
+	}
+	cliques3 := g.MaximalCliques(3)
+	if len(cliques3) != 0 {
+		t.Fatalf("no clique of size 3 expected, got %v", cliques3)
+	}
+}
+
+func TestMaximalCliquesComplete(t *testing.T) {
+	g := NewGraph(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	cliques := g.MaximalCliques(2)
+	if len(cliques) != 1 || len(cliques[0]) != 5 {
+		t.Fatalf("K5 should have one maximal clique: %v", cliques)
+	}
+}
+
+func TestMaximalCliquesEmptyGraph(t *testing.T) {
+	g := NewGraph(3)
+	if cliques := g.MaximalCliques(2); len(cliques) != 0 {
+		t.Fatalf("edgeless graph has no size-2 cliques: %v", cliques)
+	}
+}
+
+func TestQuickCliquesAreCliquesAndMaximal(t *testing.T) {
+	f := func(edges []uint8) bool {
+		const n = 7
+		g := NewGraph(n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			g.AddEdge(int(edges[i])%n, int(edges[i+1])%n)
+		}
+		cliques := g.MaximalCliques(2)
+		for _, c := range cliques {
+			// Every pair adjacent.
+			for a := 0; a < len(c); a++ {
+				for b := a + 1; b < len(c); b++ {
+					if !g.HasEdge(c[a], c[b]) {
+						return false
+					}
+				}
+			}
+			// Maximality: no vertex outside c adjacent to all of c.
+			inC := map[int]bool{}
+			for _, v := range c {
+				inC[v] = true
+			}
+			for v := 0; v < n; v++ {
+				if inC[v] {
+					continue
+				}
+				all := true
+				for _, u := range c {
+					if !g.HasEdge(v, u) {
+						all = false
+						break
+					}
+				}
+				if all {
+					return false
+				}
+			}
+		}
+		// No duplicate cliques.
+		seen := map[string]bool{}
+		for _, c := range cliques {
+			k := ""
+			for _, v := range c {
+				k += string(rune('a' + v))
+			}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		// Completeness spot check: every edge is inside some clique.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if !g.HasEdge(u, v) {
+					continue
+				}
+				covered := false
+				for _, c := range cliques {
+					has := func(x int) bool {
+						i := sort.SearchInts(c, x)
+						return i < len(c) && c[i] == x
+					}
+					if has(u) && has(v) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

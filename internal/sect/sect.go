@@ -1,0 +1,97 @@
+// Package sect defines the shared in-progress section representation used
+// by the MSE pipeline stages (MRE, DSE, refinement, mining, granularity
+// resolution and clustering).
+package sect
+
+import (
+	"fmt"
+
+	"mse/internal/layout"
+	"mse/internal/visual"
+)
+
+// Section is a contiguous run of content lines on one page, optionally
+// partitioned into records and optionally bounded by boundary-marker
+// lines.
+type Section struct {
+	Page *layout.Page
+	// Start and End delimit the section's content lines [Start, End).
+	Start int
+	End   int
+	// Records partition (a subset of) the section's lines into records.
+	// MRE fills this; DSE leaves it empty until record mining.
+	Records []visual.Block
+	// LBM and RBM are the line indices of the left/right boundary markers
+	// (lines outside the section), or -1 when absent.
+	LBM int
+	RBM int
+}
+
+// New returns a section covering [start, end) with no records and no
+// boundary markers.
+func New(p *layout.Page, start, end int) *Section {
+	return &Section{Page: p, Start: start, End: end, LBM: -1, RBM: -1}
+}
+
+// Block returns the section's full line range as a block.
+func (s *Section) Block() visual.Block {
+	return visual.Block{Page: s.Page, Start: s.Start, End: s.End}
+}
+
+// Len returns the number of content lines in the section.
+func (s *Section) Len() int { return s.End - s.Start }
+
+// Overlap returns the number of lines shared by s and o.
+func (s *Section) Overlap(o *Section) int {
+	lo := s.Start
+	if o.Start > lo {
+		lo = o.Start
+	}
+	hi := s.End
+	if o.End < hi {
+		hi = o.End
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Matches reports whether s and o cover exactly the same line range.
+func (s *Section) Matches(o *Section) bool {
+	return s.Start == o.Start && s.End == o.End
+}
+
+// Contains reports whether s fully contains o.
+func (s *Section) Contains(o *Section) bool {
+	return s.Start <= o.Start && o.End <= s.End
+}
+
+// LBMText returns the text of the left boundary marker line, or "".
+func (s *Section) LBMText() string {
+	if s.LBM < 0 || s.LBM >= len(s.Page.Lines) {
+		return ""
+	}
+	return s.Page.Lines[s.LBM].Text
+}
+
+// RBMText returns the text of the right boundary marker line, or "".
+func (s *Section) RBMText() string {
+	if s.RBM < 0 || s.RBM >= len(s.Page.Lines) {
+		return ""
+	}
+	return s.Page.Lines[s.RBM].Text
+}
+
+// String renders a debug summary.
+func (s *Section) String() string {
+	return fmt.Sprintf("section[%d,%d) records=%d lbm=%d rbm=%d",
+		s.Start, s.End, len(s.Records), s.LBM, s.RBM)
+}
+
+// Clone returns a copy of the section with its own records slice.
+func (s *Section) Clone() *Section {
+	cp := *s
+	cp.Records = append([]visual.Block(nil), s.Records...)
+	return &cp
+}

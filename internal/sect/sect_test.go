@@ -1,0 +1,113 @@
+package sect
+
+import (
+	"testing"
+
+	"mse/internal/htmlparse"
+	"mse/internal/layout"
+	"mse/internal/visual"
+)
+
+func page(t *testing.T) *layout.Page {
+	t.Helper()
+	return layout.Render(htmlparse.Parse(`<body>
+	<p>zero</p><p>one</p><p>two</p><p>three</p><p>four</p>
+	</body>`))
+}
+
+func TestNewDefaults(t *testing.T) {
+	p := page(t)
+	s := New(p, 1, 4)
+	if s.LBM != -1 || s.RBM != -1 {
+		t.Fatalf("new section should have no boundary markers")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if len(s.Records) != 0 {
+		t.Fatalf("new section should have no records")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	p := page(t)
+	cases := []struct {
+		a0, a1, b0, b1, want int
+	}{
+		{0, 3, 2, 5, 1},
+		{0, 3, 3, 5, 0},
+		{0, 5, 1, 2, 1},
+		{1, 2, 1, 2, 1},
+		{0, 2, 3, 5, 0},
+	}
+	for _, c := range cases {
+		a, b := New(p, c.a0, c.a1), New(p, c.b0, c.b1)
+		if got := a.Overlap(b); got != c.want {
+			t.Errorf("Overlap([%d,%d),[%d,%d)) = %d, want %d", c.a0, c.a1, c.b0, c.b1, got, c.want)
+		}
+		if a.Overlap(b) != b.Overlap(a) {
+			t.Errorf("Overlap not symmetric")
+		}
+	}
+}
+
+func TestMatchesAndContains(t *testing.T) {
+	p := page(t)
+	a := New(p, 1, 4)
+	if !a.Matches(New(p, 1, 4)) {
+		t.Fatalf("identical ranges should match")
+	}
+	if a.Matches(New(p, 1, 3)) {
+		t.Fatalf("different ranges should not match")
+	}
+	if !a.Contains(New(p, 2, 3)) {
+		t.Fatalf("should contain inner range")
+	}
+	if a.Contains(New(p, 0, 3)) {
+		t.Fatalf("should not contain overlapping-left range")
+	}
+}
+
+func TestBoundaryTexts(t *testing.T) {
+	p := page(t)
+	s := New(p, 1, 3)
+	if s.LBMText() != "" || s.RBMText() != "" {
+		t.Fatalf("unset markers should give empty texts")
+	}
+	s.LBM = 0
+	s.RBM = 3
+	if s.LBMText() != "zero" {
+		t.Fatalf("LBMText = %q", s.LBMText())
+	}
+	if s.RBMText() != "three" {
+		t.Fatalf("RBMText = %q", s.RBMText())
+	}
+	s.RBM = 99 // out of range must not panic
+	if s.RBMText() != "" {
+		t.Fatalf("out-of-range RBM should give empty text")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := page(t)
+	s := New(p, 0, 4)
+	s.Records = []visual.Block{{Page: p, Start: 0, End: 2}}
+	cp := s.Clone()
+	cp.Records = append(cp.Records, visual.Block{Page: p, Start: 2, End: 4})
+	cp.Start = 1
+	if len(s.Records) != 1 || s.Start != 0 {
+		t.Fatalf("clone mutation leaked into original")
+	}
+}
+
+func TestBlockAndString(t *testing.T) {
+	p := page(t)
+	s := New(p, 1, 3)
+	b := s.Block()
+	if b.Start != 1 || b.End != 3 {
+		t.Fatalf("Block range wrong")
+	}
+	if s.String() == "" {
+		t.Fatalf("String should describe the section")
+	}
+}

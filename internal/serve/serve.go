@@ -1,0 +1,169 @@
+// Package serve exposes trained MSE wrappers over HTTP — the deployment
+// shape of the paper's metasearch application: component-engine wrappers
+// are built offline, stored as JSON, and a long-running service extracts
+// sections and records from result pages on demand.
+//
+//	GET  /engines                 list the loaded engine wrappers
+//	GET  /healthz                 liveness
+//	POST /extract?engine=NAME&q=term+term
+//	                              body: the result page HTML;
+//	                              response: sections with annotated records
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"mse/internal/annotate"
+	"mse/internal/core"
+)
+
+// MaxPageBytes bounds the request body size (result pages beyond a few MB
+// are not search result pages).
+const MaxPageBytes = 8 << 20
+
+// Registry holds the loaded wrappers by engine name.  It is safe for
+// concurrent use; wrappers can be added or replaced while serving.
+type Registry struct {
+	mu       sync.RWMutex
+	wrappers map[string]*core.EngineWrapper
+	opts     core.Options
+}
+
+// NewRegistry returns an empty registry using the given pipeline options
+// for wrapper application.
+func NewRegistry(opts core.Options) *Registry {
+	return &Registry{wrappers: map[string]*core.EngineWrapper{}, opts: opts}
+}
+
+// Add registers (or replaces) a wrapper under the given engine name.
+func (r *Registry) Add(name string, data []byte) error {
+	var ew core.EngineWrapper
+	if err := json.Unmarshal(data, &ew); err != nil {
+		return fmt.Errorf("serve: wrapper %q: %w", name, err)
+	}
+	ew.SetOptions(r.opts)
+	r.mu.Lock()
+	r.wrappers[name] = &ew
+	r.mu.Unlock()
+	return nil
+}
+
+// Names lists the registered engines, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.wrappers))
+	for n := range r.wrappers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// get returns the wrapper for an engine.
+func (r *Registry) get(name string) (*core.EngineWrapper, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ew, ok := r.wrappers[name]
+	return ew, ok
+}
+
+// unitJSON is the wire form of one annotated data unit.
+type unitJSON struct {
+	Type string `json:"type"`
+	Text string `json:"text"`
+}
+
+// recordJSON is the wire form of one record.
+type recordJSON struct {
+	Lines []string   `json:"lines"`
+	Links []string   `json:"links,omitempty"`
+	Units []unitJSON `json:"units,omitempty"`
+}
+
+// sectionJSON is the wire form of one section.
+type sectionJSON struct {
+	Heading string       `json:"heading,omitempty"`
+	Records []recordJSON `json:"records"`
+}
+
+// extractResponse is the wire form of an /extract result.
+type extractResponse struct {
+	Engine   string        `json:"engine"`
+	Sections []sectionJSON `json:"sections"`
+}
+
+// Handler returns the HTTP handler serving the registry.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/engines", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Names())
+	})
+	mux.HandleFunc("/extract", r.handleExtract)
+	return mux
+}
+
+func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := req.URL.Query().Get("engine")
+	if name == "" {
+		http.Error(w, "missing ?engine=", http.StatusBadRequest)
+		return
+	}
+	ew, ok := r.get(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown engine %q", name), http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, MaxPageBytes+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > MaxPageBytes {
+		http.Error(w, "page too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var query []string
+	if q := req.URL.Query().Get("q"); q != "" {
+		query = strings.FieldsFunc(q, func(r rune) bool { return r == '+' || r == ' ' })
+	}
+
+	resp := extractResponse{Engine: name, Sections: []sectionJSON{}}
+	for _, s := range ew.Extract(string(body), query) {
+		sj := sectionJSON{Heading: s.Heading, Records: []recordJSON{}}
+		for _, rec := range s.Records {
+			rj := recordJSON{Lines: rec.Lines, Links: rec.Links}
+			for _, u := range annotate.Record(rec) {
+				rj.Units = append(rj.Units, unitJSON{Type: u.Type.String(), Text: u.Text})
+			}
+			sj.Records = append(sj.Records, rj)
+		}
+		resp.Sections = append(resp.Sections, sj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The header is already out; nothing more to do than drop the
+		// connection, which the server does for us.
+		return
+	}
+}

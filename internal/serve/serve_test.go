@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mse/internal/core"
+	"mse/internal/synth"
+)
+
+func testRegistry(t *testing.T) (*Registry, *synth.Engine) {
+	t.Helper()
+	e := synth.NewEngine(55, 3, true)
+	var samples []*core.SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := core.BuildWrapper(samples, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(core.DefaultOptions())
+	if err := reg.Add("demo", data); err != nil {
+		t.Fatal(err)
+	}
+	return reg, e
+}
+
+func TestHealthz(t *testing.T) {
+	reg, _ := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestEnginesList(t *testing.T) {
+	reg, _ := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "demo" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestExtractEndpoint(t *testing.T) {
+	reg, e := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	gp := e.Page(7)
+	q := strings.Join(gp.Query, "+")
+	resp, err := http.Post(srv.URL+"/extract?engine=demo&q="+q, "text/html",
+		strings.NewReader(gp.HTML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Engine   string `json:"engine"`
+		Sections []struct {
+			Heading string `json:"heading"`
+			Records []struct {
+				Lines []string `json:"lines"`
+				Units []struct {
+					Type string `json:"type"`
+					Text string `json:"text"`
+				} `json:"units"`
+			} `json:"records"`
+		} `json:"sections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Engine != "demo" {
+		t.Fatalf("engine = %q", out.Engine)
+	}
+	if len(out.Sections) == 0 {
+		t.Fatalf("no sections extracted over HTTP")
+	}
+	// Records come back annotated.
+	foundTitle := false
+	for _, s := range out.Sections {
+		for _, r := range s.Records {
+			for _, u := range r.Units {
+				if u.Type == "title" && u.Text != "" {
+					foundTitle = true
+				}
+			}
+		}
+	}
+	if !foundTitle {
+		t.Fatalf("no annotated titles in response")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	reg, _ := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	// GET not allowed.
+	resp, _ := http.Get(srv.URL + "/extract?engine=demo")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Missing engine.
+	resp, _ = http.Post(srv.URL+"/extract", "text/html", strings.NewReader("<p>x</p>"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing engine status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown engine.
+	resp, _ = http.Post(srv.URL+"/extract?engine=nope", "text/html", strings.NewReader("<p>x</p>"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown engine status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Oversized body.
+	big := strings.Repeat("x", MaxPageBytes+10)
+	resp, _ = http.Post(srv.URL+"/extract?engine=demo", "text/html", strings.NewReader(big))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestRegistryAddRejectsGarbage(t *testing.T) {
+	reg := NewRegistry(core.DefaultOptions())
+	if err := reg.Add("bad", []byte("{")); err == nil {
+		t.Fatalf("garbage wrapper accepted")
+	}
+	if len(reg.Names()) != 0 {
+		t.Fatalf("garbage wrapper registered")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg, e := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	gp := e.Page(6)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, err := http.Post(srv.URL+"/extract?engine=demo", "text/html",
+				strings.NewReader(gp.HTML))
+			if err == nil {
+				resp.Body.Close()
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenPage is one generated result page together with its ground truth.
+type GenPage struct {
+	EngineID   int
+	QueryIndex int
+	// Query holds the query terms the page "answers".
+	Query []string
+	// HTML is the page source.
+	HTML string
+	// Truth is the machine-readable ground truth.
+	Truth GroundTruth
+}
+
+// GroundTruth lists the dynamic sections actually present on a page, in
+// document order, with the exact rendered content lines of every record.
+type GroundTruth struct {
+	Sections []GTSection
+}
+
+// GTSection is the ground truth for one dynamic section instance.
+type GTSection struct {
+	// SchemaIndex identifies the section schema within the engine's
+	// result page schema.
+	SchemaIndex int
+	// Heading is the LBM text, empty for sections without one.
+	Heading string
+	// Records are the section's records in order.
+	Records []GTRecord
+}
+
+// GTRecord is the ground truth for one search result record.
+type GTRecord struct {
+	// Marker is the unique token embedded in the record's marked lines.
+	Marker string
+	// Lines are the exact rendered content-line texts of the record, in
+	// order.
+	Lines []string
+}
+
+// TotalRecords counts records across all sections.
+func (gt GroundTruth) TotalRecords() int {
+	n := 0
+	for _, s := range gt.Sections {
+		n += len(s.Records)
+	}
+	return n
+}
+
+// Page generates result page queryIdx of the engine.  The output is a pure
+// function of the engine seed and the query index.
+func (e *Engine) Page(queryIdx int) *GenPage {
+	rng := rand.New(rand.NewSource(e.seed*31 + int64(queryIdx)*104729 + 17))
+	q1 := pick(rng, queryWords)
+	q2 := pick(rng, queryWords)
+	for q2 == q1 {
+		q2 = pick(rng, queryWords)
+	}
+	gp := &GenPage{
+		EngineID:   e.ID,
+		QueryIndex: queryIdx,
+		Query:      []string{q1, q2},
+	}
+	b := &pageBuilder{rng: rng, engine: e, page: gp}
+	b.build()
+	return gp
+}
+
+// Pages generates the engine's full set of result pages.
+func (e *Engine) Pages(n int) []*GenPage {
+	out := make([]*GenPage, n)
+	for i := range out {
+		out[i] = e.Page(i)
+	}
+	return out
+}
+
+// pageBuilder accumulates HTML and ground truth for one page.
+type pageBuilder struct {
+	rng    *rand.Rand
+	engine *Engine
+	page   *GenPage
+	html   strings.Builder
+}
+
+func (b *pageBuilder) build() {
+	e := b.engine
+	ps := e.Schema
+	q := b.page.Query
+	fmt.Fprintf(&b.html, "<html><head><title>%s search: %s %s</title>", ps.SiteName, q[0], q[1])
+	if b.usesClassHeadings() {
+		b.html.WriteString(`<style>.hd { font-weight: bold; font-size: 18px; color: #663300 }</style>`)
+	}
+	b.html.WriteString("</head>\n<body>\n")
+	// --- static / semi-dynamic template header ---
+	fmt.Fprintf(&b.html, "<h1>%s</h1>\n", ps.SiteName)
+	var nav []string
+	for i, l := range ps.NavLinks {
+		nav = append(nav, fmt.Sprintf(`<a href="/nav%d">%s</a>`, i, l))
+	}
+	fmt.Fprintf(&b.html, "<div>%s</div>\n", strings.Join(nav, " | "))
+	if ps.HasSearchBox {
+		fmt.Fprintf(&b.html,
+			`<form action="/search"><input type="text" value="%s %s"><input type="submit" value="Search"></form>`+"\n",
+			q[0], q[1])
+	}
+	if ps.HasResultCount {
+		fmt.Fprintf(&b.html,
+			"<div>Your search returned %d matches for <b>%s %s</b>.</div>\n",
+			50+b.rng.Intn(900), q[0], q[1])
+	}
+	b.html.WriteString("<hr>\n")
+
+	// --- dynamic sections ---
+	if ps.Flat {
+		b.buildFlatSections()
+	} else {
+		for _, ss := range ps.Sections {
+			b.buildSection(ss)
+		}
+	}
+
+	// --- semi-dynamic pagination ---
+	if len(b.page.Truth.Sections) > 0 {
+		fmt.Fprintf(&b.html,
+			`<div>Result page: 1 2 3 %d <a href="/page2">Next</a></div>`+"\n",
+			4+b.rng.Intn(6))
+	}
+
+	// --- static footer ---
+	b.html.WriteString("<hr>\n")
+	for _, f := range ps.FooterLines {
+		fmt.Fprintf(&b.html, "<div>%s</div>\n", f)
+	}
+	b.html.WriteString("</body></html>\n")
+	b.page.HTML = b.html.String()
+}
+
+// sectionRecordCount draws how many records a section has on this page
+// (0 when the section does not appear).
+func (b *pageBuilder) sectionRecordCount(ss *SectionSchema) int {
+	if ss.QueryClass >= 0 && b.page.QueryIndex%7 != ss.QueryClass {
+		return 0
+	}
+	if b.rng.Float64() >= ss.Appear {
+		return 0
+	}
+	span := ss.MaxRecords - ss.MinRecords
+	n := ss.MinRecords
+	if span > 0 {
+		n += b.rng.Intn(span + 1)
+	}
+	return n
+}
+
+// buildSection emits one dynamic section (non-flat layouts).
+func (b *pageBuilder) buildSection(ss *SectionSchema) {
+	count := b.sectionRecordCount(ss)
+	if count == 0 {
+		return // hidden on this page
+	}
+	gts := GTSection{SchemaIndex: ss.Index, Heading: ss.Heading}
+	if ss.HasLBM {
+		b.html.WriteString(headingHTML(ss.HeadingStyle, ss.Heading))
+	}
+	recs := b.makeRecords(ss, count)
+	var trailer string
+	if ss.InlineMore && b.rng.Float64() < 0.75 {
+		trailer = fmt.Sprintf(`<a href="/more/%d">More %s results ...</a>`,
+			ss.Index, pick(b.rng, snippetWords))
+	}
+	switch b.engine.Schema.Style {
+	case TableStyle:
+		b.emitTableSection(ss, recs, trailer)
+	case DivStyle:
+		b.emitDivSection(ss, recs, trailer)
+	case ListStyle:
+		b.emitListSection(ss, recs, trailer)
+	case DlStyle:
+		b.emitDlSection(ss, recs, trailer)
+	}
+	for _, r := range recs {
+		gts.Records = append(gts.Records, GTRecord{Marker: r.marker, Lines: r.lines})
+	}
+	if ss.HasRBM && count >= ss.MaxRecords {
+		fmt.Fprintf(&b.html, `<div><a href="/more?s=%d">Click Here for More ...</a></div>`+"\n", ss.Index)
+	}
+	b.page.Truth.Sections = append(b.page.Truth.Sections, gts)
+}
+
+// buildFlatSections emits all sections as rows of one shared table,
+// separated only by styled heading rows.
+func (b *pageBuilder) buildFlatSections() {
+	type flatSec struct {
+		ss   *SectionSchema
+		recs []genRecord
+	}
+	var secs []flatSec
+	for _, ss := range b.engine.Schema.Sections {
+		count := b.sectionRecordCount(ss)
+		if count == 0 {
+			continue
+		}
+		secs = append(secs, flatSec{ss: ss, recs: b.makeRecords(ss, count)})
+	}
+	if len(secs) == 0 {
+		return
+	}
+	b.html.WriteString("<table>\n")
+	for _, fs := range secs {
+		fmt.Fprintf(&b.html,
+			`<tr><td><b><font color="#003399" size="4">%s</font></b></td></tr>`+"\n",
+			fs.ss.Heading)
+		for _, r := range fs.recs {
+			fmt.Fprintf(&b.html, "<tr><td>%s</td></tr>\n", strings.Join(r.htmlLines, "<br>"))
+		}
+		gts := GTSection{SchemaIndex: fs.ss.Index, Heading: fs.ss.Heading}
+		for _, r := range fs.recs {
+			gts.Records = append(gts.Records, GTRecord{Marker: r.marker, Lines: r.lines})
+		}
+		b.page.Truth.Sections = append(b.page.Truth.Sections, gts)
+	}
+	b.html.WriteString("</table>\n")
+}
+
+func headingHTML(style HeadingStyle, text string) string {
+	switch style {
+	case HeadingH3:
+		return fmt.Sprintf("<h3>%s</h3>\n", text)
+	case HeadingBoldFont:
+		return fmt.Sprintf(`<div><b><font color="#003399" size="4">%s</font></b></div>`+"\n", text)
+	case HeadingClass:
+		return fmt.Sprintf(`<div class="hd">%s</div>`+"\n", text)
+	default:
+		return fmt.Sprintf(`<div style="font-size: 18px; font-weight: bold; color: #663300">%s</div>`+"\n", text)
+	}
+}
+
+// usesClassHeadings reports whether any section of the engine's schema
+// renders its heading through the CSS class rule.
+func (b *pageBuilder) usesClassHeadings() bool {
+	for _, ss := range b.engine.Schema.Sections {
+		if ss.HeadingStyle == HeadingClass {
+			return true
+		}
+	}
+	return false
+}
+
+// genRecord is a generated record: its marker, the HTML of each line and
+// the exact rendered text of each line.
+type genRecord struct {
+	marker    string
+	htmlLines []string
+	lines     []string
+}
+
+// makeRecords generates the record contents for a section instance.
+func (b *pageBuilder) makeRecords(ss *SectionSchema, count int) []genRecord {
+	recs := make([]genRecord, count)
+	for i := range recs {
+		recs[i] = b.makeRecord(ss, i)
+	}
+	return recs
+}
+
+func (b *pageBuilder) makeRecord(ss *SectionSchema, idx int) genRecord {
+	f := ss.Format
+	marker := Marker(b.engine.ID, b.page.QueryIndex, ss.Index, idx)
+	r := genRecord{marker: marker}
+	q := b.page.Query
+
+	addLine := func(html, text string) {
+		r.htmlLines = append(r.htmlLines, html)
+		r.lines = append(r.lines, normalizeText(text))
+	}
+
+	// --- title line ---
+	titleTxt := pick(b.rng, titleWords) + " " + pick(b.rng, titleWords)
+	if b.rng.Float64() < 0.6 {
+		titleTxt += " " + q[b.rng.Intn(2)]
+	}
+	var sb strings.Builder
+	var txt strings.Builder
+	if f.HasImage {
+		sb.WriteString(`<img src="/thumb.gif" alt=""> `)
+	}
+	if f.NumberPrefix {
+		fmt.Fprintf(&sb, "%d. ", idx+1)
+		fmt.Fprintf(&txt, "%d. ", idx+1)
+	}
+	inner := titleTxt
+	if f.TitleBold {
+		inner = "<b>" + inner + "</b>"
+	}
+	if f.TitleIsLink {
+		fmt.Fprintf(&sb, `<a href="/doc/%s">%s</a>`, marker, inner)
+	} else {
+		sb.WriteString("<b>" + inner + "</b>")
+	}
+	txt.WriteString(titleTxt)
+	if f.HasDate {
+		date := fmt.Sprintf("(%d/%d/200%d)", 1+b.rng.Intn(12), 1+b.rng.Intn(28), 2+b.rng.Intn(5))
+		sb.WriteString(" " + date)
+		txt.WriteString(" " + date)
+	}
+	sb.WriteString(" " + marker)
+	txt.WriteString(" " + marker)
+	addLine(sb.String(), txt.String())
+
+	// --- false boundary-marker line (no marker token, by design) ---
+	if ss.FalseSBM {
+		addLine(ss.FalseSBMText, ss.FalseSBMText)
+	}
+
+	// --- snippet lines ---
+	nSnip := f.SnippetMin
+	if f.SnippetLines > f.SnippetMin {
+		nSnip += b.rng.Intn(f.SnippetLines - f.SnippetMin + 1)
+	}
+	for s := 0; s < nSnip; s++ {
+		words := make([]string, 0, 10)
+		n := 6 + b.rng.Intn(5)
+		for w := 0; w < n; w++ {
+			words = append(words, pick(b.rng, snippetWords))
+		}
+		if b.rng.Float64() < 0.5 {
+			words[b.rng.Intn(len(words))] = q[b.rng.Intn(2)]
+		}
+		line := strings.Join(words, " ") + " " + marker
+		addLine(line, line)
+	}
+
+	// --- URL line ---
+	if f.HasURLLine {
+		u := fmt.Sprintf("www.%s/doc/%s.html", b.engine.Schema.SiteName, marker)
+		addLine(fmt.Sprintf(`<font color="#008000">%s</font>`, u), u)
+	}
+
+	// --- price line ---
+	if f.HasPrice {
+		p := fmt.Sprintf("Price: $%d.%02d %s", 5+b.rng.Intn(95), b.rng.Intn(100), marker)
+		addLine(p, p)
+	}
+	return r
+}
+
+// emitTableSection renders records as table rows.
+func (b *pageBuilder) emitTableSection(ss *SectionSchema, recs []genRecord, trailer string) {
+	b.html.WriteString("<table>\n")
+	if ss.NonSiblingRecords {
+		// Pairs of records get their own <tbody>, so record roots are not
+		// all siblings directly under one parent.
+		for i := 0; i < len(recs); i += 2 {
+			b.html.WriteString("<tbody>\n")
+			for j := i; j < i+2 && j < len(recs); j++ {
+				b.emitTableRecord(ss, recs[j])
+			}
+			b.html.WriteString("</tbody>\n")
+		}
+	} else {
+		for _, r := range recs {
+			b.emitTableRecord(ss, r)
+		}
+	}
+	if trailer != "" {
+		fmt.Fprintf(&b.html, "<tr><td>%s</td></tr>\n", trailer)
+	}
+	b.html.WriteString("</table>\n")
+}
+
+func (b *pageBuilder) emitTableRecord(ss *SectionSchema, r genRecord) {
+	if ss.Format.MultiRow {
+		for _, hl := range r.htmlLines {
+			fmt.Fprintf(&b.html, "<tr><td>%s</td></tr>\n", hl)
+		}
+		return
+	}
+	fmt.Fprintf(&b.html, "<tr><td>%s</td></tr>\n", strings.Join(r.htmlLines, "<br>"))
+}
+
+// emitDivSection renders records as nested <div>s.
+func (b *pageBuilder) emitDivSection(ss *SectionSchema, recs []genRecord, trailer string) {
+	b.html.WriteString(`<div class="results">` + "\n")
+	if ss.NonSiblingRecords {
+		// Ladder nesting: each record's container holds the next record,
+		// the paper's "records are not siblings" pathology.
+		for _, r := range recs {
+			fmt.Fprintf(&b.html, `<div class="r">%s`+"\n", strings.Join(r.htmlLines, "<br>"))
+		}
+		for range recs {
+			b.html.WriteString("</div>")
+		}
+		b.html.WriteString("\n")
+	} else {
+		for _, r := range recs {
+			fmt.Fprintf(&b.html, `<div class="r">%s</div>`+"\n", strings.Join(r.htmlLines, "<br>"))
+		}
+	}
+	if trailer != "" {
+		fmt.Fprintf(&b.html, "<div>%s</div>\n", trailer)
+	}
+	b.html.WriteString("</div>\n")
+}
+
+// emitListSection renders records as list items.
+func (b *pageBuilder) emitListSection(ss *SectionSchema, recs []genRecord, trailer string) {
+	b.html.WriteString("<ul>\n")
+	if ss.NonSiblingRecords {
+		for i := 0; i < len(recs); i += 2 {
+			b.html.WriteString("<li>\n<ul>\n")
+			for j := i; j < i+2 && j < len(recs); j++ {
+				fmt.Fprintf(&b.html, "<li>%s</li>\n", strings.Join(recs[j].htmlLines, "<br>"))
+			}
+			b.html.WriteString("</ul>\n</li>\n")
+		}
+	} else {
+		for _, r := range recs {
+			fmt.Fprintf(&b.html, "<li>%s</li>\n", strings.Join(r.htmlLines, "<br>"))
+		}
+	}
+	if trailer != "" {
+		fmt.Fprintf(&b.html, "<li>%s</li>\n", trailer)
+	}
+	b.html.WriteString("</ul>\n")
+}
+
+// emitDlSection renders records as <dt>/<dd> pairs: the record title in
+// the <dt>, its remaining lines in the <dd>.  Records without extra lines
+// emit no <dd> at all, so the record grammar varies structurally.
+func (b *pageBuilder) emitDlSection(ss *SectionSchema, recs []genRecord, trailer string) {
+	b.html.WriteString("<dl>\n")
+	emit := func(r genRecord) {
+		fmt.Fprintf(&b.html, "<dt>%s</dt>\n", r.htmlLines[0])
+		if len(r.htmlLines) > 1 {
+			fmt.Fprintf(&b.html, "<dd>%s</dd>\n", strings.Join(r.htmlLines[1:], "<br>"))
+		}
+	}
+	if ss.NonSiblingRecords {
+		// Pairs of records wrapped in stray <div>s inside the <dl> (as
+		// tag soup in the wild does), so records are not all siblings.
+		for i := 0; i < len(recs); i += 2 {
+			b.html.WriteString("<div>\n")
+			for j := i; j < i+2 && j < len(recs); j++ {
+				emit(recs[j])
+			}
+			b.html.WriteString("</div>\n")
+		}
+	} else {
+		for _, r := range recs {
+			emit(r)
+		}
+	}
+	if trailer != "" {
+		fmt.Fprintf(&b.html, "<dt>%s</dt>\n", trailer)
+	}
+	b.html.WriteString("</dl>\n")
+}
+
+// normalizeText applies the same whitespace normalization the renderer
+// applies to content lines, so that ground-truth line texts match rendered
+// line texts exactly.
+func normalizeText(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

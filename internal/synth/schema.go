@@ -1,0 +1,395 @@
+// Package synth generates the synthetic search-engine test bed that stands
+// in for the paper's 119 live search engines (the ViNTs dataset 2 plus 19
+// multi-section engines, evaluated with 10 manually submitted queries
+// each).  Each synthetic engine is a seeded generative page schema in the
+// sense of Section 2 of the paper: a set of possible dynamic section
+// schemas embedded in a static template with semi-dynamic content.  Every
+// generated page carries machine-readable ground truth (which lines belong
+// to which record of which section), replacing the paper's manual
+// judgments.
+//
+// The generator reproduces the statistical properties the paper reports
+// and the failure modes it discusses:
+//
+//   - a configurable fraction of engines produce multi-section pages
+//     (19/100 in the original dataset; 38/119 in the full test bed);
+//   - ~97% of sections have explicit boundary markers (96.9% in §2);
+//   - some sections are "hidden": absent from some or all sample pages;
+//   - some sections have fewer than three records on some pages;
+//   - some engines have problematic DOM structures whose records are not
+//     siblings under a common subtree (§6 names this as the main source of
+//     missing records);
+//   - some records repeat a constant string ("Buy new:") that fakes a
+//     boundary marker (§5.2's filter_CSBMs motivation);
+//   - adjacent sections may share the same record format (the non-uniform
+//     section format and granularity problems of §1).
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Style selects the overall markup idiom of an engine's result pages.
+type Style int
+
+const (
+	// TableStyle lays records out as table rows (the dominant 2006 idiom).
+	TableStyle Style = iota
+	// DivStyle nests records in <div> containers.
+	DivStyle
+	// ListStyle renders records as <li> items.
+	ListStyle
+	// DlStyle renders records as definition-list pairs: the title in a
+	// <dt>, the remaining lines in the following <dd>.  Records therefore
+	// occupy two sibling subtrees — a start/interior separator structure
+	// rather than a single container per record.
+	DlStyle
+
+	numStyles = int(DlStyle) + 1
+)
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case TableStyle:
+		return "table"
+	case DivStyle:
+		return "div"
+	case ListStyle:
+		return "list"
+	case DlStyle:
+		return "dl"
+	}
+	return "unknown"
+}
+
+// RecordFormat describes how a section renders one search result record.
+type RecordFormat struct {
+	// TitleIsLink renders the title as an anchor.
+	TitleIsLink bool
+	// SnippetLines is the maximum number of snippet lines per record (the
+	// actual number varies per record between SnippetMin and this value).
+	SnippetLines int
+	// SnippetMin is the minimum number of snippet lines.
+	SnippetMin int
+	// HasURLLine appends a green URL line, search-engine style.
+	HasURLLine bool
+	// HasPrice appends a price line (shopping sections).
+	HasPrice bool
+	// HasDate appends a date like "(4/10/2002)" to the title.
+	HasDate bool
+	// NumberPrefix renders an ordinal cell/text before the title.
+	NumberPrefix bool
+	// TitleBold wraps the title in <b>.
+	TitleBold bool
+	// HasImage prepends a thumbnail image to the title line, making it an
+	// image-text content line.
+	HasImage bool
+	// MultiRow renders each record line as its own table row (table-style
+	// engines only); otherwise a record is one row with <br>-separated
+	// lines.
+	MultiRow bool
+}
+
+// HeadingStyle describes how a section's left boundary marker is rendered.
+type HeadingStyle int
+
+const (
+	// HeadingH3 renders the LBM as an <h3>.
+	HeadingH3 HeadingStyle = iota
+	// HeadingBoldFont renders the LBM as a bold colored <font> line.
+	HeadingBoldFont
+	// HeadingDivStyled renders the LBM as a styled <div>.
+	HeadingDivStyled
+	// HeadingClass renders the LBM as <div class="hd"> styled by a CSS
+	// rule in the page's <style> block.
+	HeadingClass
+
+	numHeadingStyles = int(HeadingClass) + 1
+)
+
+// SectionSchema is one possible dynamic section of an engine's result page
+// schema (an S_i of Section 2).
+type SectionSchema struct {
+	// Index is the position of the section in the result page schema.
+	Index int
+	// Heading is the LBM text ("Encyclopedia"); empty when HasLBM is
+	// false.
+	Heading string
+	// HasLBM / HasRBM control explicit boundary markers.  ~97% of
+	// sections have at least an LBM, matching the paper's statistic.
+	HasLBM bool
+	// HasRBM adds a "Click Here for More" style right boundary marker
+	// when the section is full.
+	HasRBM bool
+	// HeadingStyle selects the LBM markup.
+	HeadingStyle HeadingStyle
+	// Appear is the probability that a query retrieves any records for
+	// this section; sections with Appear < 1 are sometimes absent, which
+	// creates hidden sections.
+	Appear float64
+	// MinRecords / MaxRecords bound the per-query record count when the
+	// section appears.
+	MinRecords int
+	MaxRecords int
+	// Format is the record format.
+	Format RecordFormat
+	// NonSiblingRecords injects the paper's problematic DOM structure:
+	// consecutive records are wrapped pairwise in extra containers so
+	// their tag structures are not siblings under one subtree.
+	NonSiblingRecords bool
+	// FalseSBM repeats a constant string in every record of the section,
+	// faking a boundary marker.
+	FalseSBM bool
+	// FalseSBMText is the repeated string when FalseSBM is set.
+	FalseSBMText string
+	// QueryClass, when non-negative, makes the section fully query
+	// dependent: it appears only for queries whose index is congruent to
+	// QueryClass modulo 7.  Classes 5 and 6 never occur among the five
+	// sample pages, producing the paper's *hidden sections*; classes 0-4
+	// occur on exactly one sample page, producing dangling instances that
+	// only section families can recover.
+	QueryClass int
+	// InlineMore appends a "More results about <word> ..." trailer line
+	// inside the section container after the last record.  The random
+	// word keeps the line from ever matching across pages, so it can
+	// never become a CSBM: extraction inevitably attaches it to the last
+	// record, making the section partially correct at best — the paper's
+	// dominant error class ("missing some records or falsely extracting
+	// some records", §6).
+	InlineMore bool
+}
+
+// PageSchema is the result page schema (D, S, SD, L) of an engine: all its
+// possible dynamic sections plus its static template and semi-dynamic
+// content.
+type PageSchema struct {
+	SiteName string
+	Style    Style
+	Sections []*SectionSchema
+	// NavLinks is the static navigation row.
+	NavLinks []string
+	// FooterLines are the static footer texts.
+	FooterLines []string
+	// HasResultCount controls the semi-dynamic "Your search returned N
+	// matches" line.
+	HasResultCount bool
+	// HasSearchBox adds the static search form.
+	HasSearchBox bool
+	// Flat renders all sections as rows of one shared table, separated
+	// only by styled heading rows (the Figure 1 / Figure 10 situation
+	// where every section has the same tag structure and only the SBMs
+	// distinguish them).  Only used with TableStyle schemas.
+	Flat bool
+}
+
+// Engine is one synthetic search engine.
+type Engine struct {
+	ID     int
+	Name   string
+	Schema *PageSchema
+	seed   int64
+}
+
+// MultiSection reports whether the engine's schema has more than one
+// dynamic section.
+func (e *Engine) MultiSection() bool { return len(e.Schema.Sections) > 1 }
+
+// Config controls test-bed generation.
+type Config struct {
+	// Seed is the master seed; the whole test bed is a pure function of
+	// it.
+	Seed int64
+	// Engines is the total number of engines (the paper uses 119).
+	Engines int
+	// MultiSection is how many of them have multi-section schemas (38).
+	MultiSection int
+	// Queries is the number of result pages per engine (10: 5 sample + 5
+	// test).
+	Queries int
+}
+
+// DefaultConfig mirrors the paper's test bed: 119 engines, 38 of them
+// multi-section, 10 result pages each.
+func DefaultConfig() Config {
+	return Config{Seed: 2006, Engines: 119, MultiSection: 38, Queries: 10}
+}
+
+// GenerateTestbed builds the full engine set for a configuration.
+func GenerateTestbed(cfg Config) []*Engine {
+	engines := make([]*Engine, 0, cfg.Engines)
+	for i := 0; i < cfg.Engines; i++ {
+		multi := i < cfg.MultiSection
+		engines = append(engines, NewEngine(cfg.Seed, i, multi))
+	}
+	return engines
+}
+
+// NewEngine deterministically derives engine number id from the master
+// seed.  multi selects a multi-section schema.
+func NewEngine(masterSeed int64, id int, multi bool) *Engine {
+	seed := masterSeed*1000003 + int64(id)*7919
+	rng := rand.New(rand.NewSource(seed))
+	schema := newPageSchema(rng, id, multi)
+	return &Engine{
+		ID:     id,
+		Name:   schema.SiteName,
+		Schema: schema,
+		seed:   seed,
+	}
+}
+
+func newPageSchema(rng *rand.Rand, id int, multi bool) *PageSchema {
+	ps := &PageSchema{
+		SiteName:       fmt.Sprintf("%s%s.example", pick(rng, siteWords), pick(rng, siteWords)),
+		Style:          Style(rng.Intn(numStyles)),
+		HasResultCount: rng.Float64() < 0.8,
+		HasSearchBox:   rng.Float64() < 0.7,
+	}
+	// Static template.
+	nNav := 2 + rng.Intn(4)
+	seenNav := map[string]bool{}
+	for len(ps.NavLinks) < nNav {
+		l := pick(rng, navLabels)
+		if !seenNav[l] {
+			seenNav[l] = true
+			ps.NavLinks = append(ps.NavLinks, l)
+		}
+	}
+	nFoot := 1 + rng.Intn(3)
+	for i := 0; i < nFoot; i++ {
+		ps.FooterLines = append(ps.FooterLines, footerTexts[i%len(footerTexts)])
+	}
+
+	nSections := 1
+	if multi {
+		nSections = 2 + rng.Intn(4) // 2..5
+	}
+	// Engines overwhelmingly use one heading style site-wide; occasional
+	// sections deviate.  A shared style is also what makes Type 1 / Type 2
+	// section families possible (§5.8 requires members to share the
+	// boundary markers' text attributes).
+	engineHeadingStyle := HeadingStyle(rng.Intn(numHeadingStyles))
+	usedHeadings := map[string]bool{}
+	// With some probability all sections of a multi-section engine share
+	// one record format (the Figure 1 situation where only the SBMs
+	// separate sections); otherwise each section draws its own format.
+	sharedFormat := multi && rng.Float64() < 0.4
+	var shared RecordFormat
+	if sharedFormat {
+		shared = newRecordFormat(rng)
+	}
+	for i := 0; i < nSections; i++ {
+		ss := &SectionSchema{
+			Index:        i,
+			HasLBM:       true,
+			HeadingStyle: engineHeadingStyle,
+			Appear:       1.0,
+			QueryClass:   -1,
+			MinRecords:   1,
+			MaxRecords:   4 + rng.Intn(7), // 4..10
+		}
+		if rng.Float64() < 0.1 {
+			ss.HeadingStyle = HeadingStyle(rng.Intn(numHeadingStyles))
+		}
+		// ~3% of sections lack an explicit LBM (96.9% coverage in §2;
+		// the flat layout below forces markers back on, so the draw is
+		// slightly more aggressive than the target rate).
+		if rng.Float64() < 0.05 {
+			ss.HasLBM = false
+		}
+		if ss.HasLBM {
+			for {
+				h := pick(rng, sectionHeadings)
+				if !usedHeadings[h] {
+					usedHeadings[h] = true
+					ss.Heading = h
+					break
+				}
+			}
+		}
+		ss.HasRBM = rng.Float64() < 0.5
+		if sharedFormat {
+			ss.Format = shared
+		} else {
+			ss.Format = newRecordFormat(rng)
+		}
+		// Secondary sections sometimes appear only for some queries
+		// (hidden sections); the first section is always present.
+		if i > 0 && rng.Float64() < 0.3 {
+			ss.Appear = 0.55 + 0.35*rng.Float64()
+		}
+		// Some secondary sections are fully query dependent — the source
+		// of hidden sections and dangling instances.
+		if i > 0 && rng.Float64() < 0.08 {
+			ss.QueryClass = rng.Intn(7)
+		}
+		// Secondary sections are often short (fewer than three records on
+		// many pages), exercising the DSE + record-mining path.
+		if i > 0 && rng.Float64() < 0.4 {
+			ss.MaxRecords = 1 + rng.Intn(3) // 1..3
+		}
+		// Difficulty features.
+		if rng.Float64() < 0.08 {
+			ss.NonSiblingRecords = true
+		}
+		if rng.Float64() < 0.12 {
+			ss.FalseSBM = true
+			ss.FalseSBMText = pick(rng, falseSBMTexts)
+		}
+		if rng.Float64() < 0.16 {
+			ss.InlineMore = true
+		}
+		ps.Sections = append(ps.Sections, ss)
+	}
+	if multi && ps.Style == TableStyle && rng.Float64() < 0.5 {
+		ps.Flat = true
+		// Flat layouts force single-row records with a uniform format so
+		// that only the heading rows separate the sections.
+		flatFormat := ps.Sections[0].Format
+		flatFormat.MultiRow = false
+		for _, ss := range ps.Sections {
+			ss.Format = flatFormat
+			ss.HasLBM = true // the heading row is the only separator
+			if ss.Heading == "" {
+				for {
+					h := pick(rng, sectionHeadings)
+					if !usedHeadings[h] {
+						usedHeadings[h] = true
+						ss.Heading = h
+						break
+					}
+				}
+			}
+			ss.NonSiblingRecords = false
+		}
+	}
+	return ps
+}
+
+func newRecordFormat(rng *rand.Rand) RecordFormat {
+	f := RecordFormat{
+		TitleIsLink:  rng.Float64() < 0.9,
+		SnippetLines: rng.Intn(3),          // 0..2
+		HasURLLine:   rng.Float64() < 0.35, //
+		HasPrice:     rng.Float64() < 0.15, //
+		HasDate:      rng.Float64() < 0.4,  //
+		NumberPrefix: rng.Float64() < 0.4,  //
+		TitleBold:    rng.Float64() < 0.3,  //
+		MultiRow:     rng.Float64() < 0.3,  //
+	}
+	if f.SnippetLines > 0 {
+		// Some engines vary snippet length per record, some keep it fixed.
+		if rng.Float64() < 0.5 {
+			f.SnippetMin = f.SnippetLines
+		} else {
+			f.SnippetMin = rng.Intn(f.SnippetLines + 1)
+		}
+	}
+	return f
+}
+
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}

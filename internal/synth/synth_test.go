@@ -1,0 +1,258 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/htmlparse"
+	"mse/internal/layout"
+)
+
+func TestTestbedShape(t *testing.T) {
+	cfg := DefaultConfig()
+	engines := GenerateTestbed(cfg)
+	if len(engines) != 119 {
+		t.Fatalf("engines = %d, want 119", len(engines))
+	}
+	multi := 0
+	for _, e := range engines {
+		if e.MultiSection() {
+			multi++
+		}
+	}
+	if multi != 38 {
+		t.Fatalf("multi-section engines = %d, want 38", multi)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	e1 := NewEngine(42, 7, true)
+	e2 := NewEngine(42, 7, true)
+	p1 := e1.Page(3)
+	p2 := e2.Page(3)
+	if p1.HTML != p2.HTML {
+		t.Fatalf("page generation is not deterministic")
+	}
+	if len(p1.Truth.Sections) != len(p2.Truth.Sections) {
+		t.Fatalf("ground truth not deterministic")
+	}
+	// A different seed must give different content.
+	e3 := NewEngine(43, 7, true)
+	if e3.Page(3).HTML == p1.HTML {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+func TestMarkerUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for _, eng := range []int{0, 1, 12, 13, 169} {
+		for q := 0; q < 3; q++ {
+			for s := 0; s < 3; s++ {
+				for r := 0; r < 5; r++ {
+					m := Marker(eng, q, s, r)
+					if seen[m] {
+						t.Fatalf("marker collision: %s", m)
+					}
+					seen[m] = true
+					if strings.ContainsAny(m, "0123456789") {
+						t.Fatalf("marker %s contains digits", m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroundTruthMatchesRenderer is the load-bearing self-check of the
+// whole test bed: every ground-truth record line must appear in the
+// rendered page as exactly one content line, contiguous per record, in
+// order, and every marker-bearing rendered line must be accounted for.
+func TestGroundTruthMatchesRenderer(t *testing.T) {
+	engines := GenerateTestbed(Config{Seed: 2006, Engines: 30, MultiSection: 12, Queries: 4})
+	pages := 0
+	for _, e := range engines {
+		for q := 0; q < 4; q++ {
+			gp := e.Page(q)
+			pages++
+			page := layout.Render(htmlparse.Parse(gp.HTML))
+			texts := make([]string, len(page.Lines))
+			for i, l := range page.Lines {
+				texts[i] = l.Text
+			}
+			cursor := 0
+			for _, sec := range gp.Truth.Sections {
+				for _, rec := range sec.Records {
+					// Find the record's first line at or after cursor.
+					start := -1
+					for i := cursor; i < len(texts); i++ {
+						if texts[i] == rec.Lines[0] {
+							start = i
+							break
+						}
+					}
+					if start < 0 {
+						t.Fatalf("engine %d page %d: record %s first line %q not found after line %d",
+							e.ID, q, rec.Marker, rec.Lines[0], cursor)
+					}
+					for j, want := range rec.Lines {
+						if start+j >= len(texts) || texts[start+j] != want {
+							t.Fatalf("engine %d page %d: record %s line %d = %q, want %q",
+								e.ID, q, rec.Marker, j,
+								texts[min(start+j, len(texts)-1)], want)
+						}
+					}
+					cursor = start + len(rec.Lines)
+				}
+			}
+			// Every marker-bearing rendered line belongs to some GT record.
+			markers := map[string]int{}
+			for _, sec := range gp.Truth.Sections {
+				for _, rec := range sec.Records {
+					markers[rec.Marker] = len(rec.Lines)
+				}
+			}
+			for _, l := range page.Lines {
+				if idx := strings.Index(l.Text, "qj"); idx >= 0 {
+					tok := tokenAt(l.Text, idx)
+					if _, ok := markers[tok]; !ok {
+						t.Fatalf("engine %d page %d: rendered marker %q missing from ground truth",
+							e.ID, q, tok)
+					}
+				}
+			}
+		}
+	}
+	if pages != 120 {
+		t.Fatalf("generated %d pages", pages)
+	}
+}
+
+// tokenAt extracts the whitespace/punctuation-delimited marker token
+// starting at idx.
+func tokenAt(s string, idx int) string {
+	end := idx
+	for end < len(s) && (s[end] >= 'a' && s[end] <= 'z') {
+		end++
+	}
+	return s[idx:end]
+}
+
+func TestHiddenSectionsOccur(t *testing.T) {
+	// Across the test bed, at least one engine must produce pages with
+	// differing section sets (hidden sections).
+	engines := GenerateTestbed(DefaultConfig())
+	found := false
+	for _, e := range engines {
+		if !e.MultiSection() {
+			continue
+		}
+		counts := map[int]int{}
+		for q := 0; q < 10; q++ {
+			for _, s := range e.Page(q).Truth.Sections {
+				counts[s.SchemaIndex]++
+			}
+		}
+		for _, c := range counts {
+			if c > 0 && c < 10 {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no hidden sections in the test bed")
+	}
+}
+
+func TestSmallSectionsOccur(t *testing.T) {
+	engines := GenerateTestbed(DefaultConfig())
+	small := 0
+	for _, e := range engines[:40] {
+		for q := 0; q < 5; q++ {
+			for _, s := range e.Page(q).Truth.Sections {
+				if len(s.Records) < 3 {
+					small++
+				}
+			}
+		}
+	}
+	if small == 0 {
+		t.Fatalf("no sections with fewer than three records; MRE-only path untested")
+	}
+}
+
+func TestSBMCoverageStatistic(t *testing.T) {
+	// The paper reports 96.9% of sections have explicit boundary markers;
+	// the generator aims for a similar rate (~97%).
+	engines := GenerateTestbed(DefaultConfig())
+	total, withLBM := 0, 0
+	for _, e := range engines {
+		for _, ss := range e.Schema.Sections {
+			total++
+			if ss.HasLBM {
+				withLBM++
+			}
+		}
+	}
+	rate := float64(withLBM) / float64(total)
+	if rate < 0.90 || rate > 1.0 {
+		t.Fatalf("LBM coverage = %.3f, want ≈0.97", rate)
+	}
+}
+
+func TestQueryTermsAppearInRecords(t *testing.T) {
+	e := NewEngine(2006, 3, true)
+	gp := e.Page(0)
+	joined := ""
+	for _, s := range gp.Truth.Sections {
+		for _, r := range s.Records {
+			joined += strings.Join(r.Lines, " ") + " "
+		}
+	}
+	hasTerm := false
+	for _, term := range gp.Query {
+		if strings.Contains(joined, term) {
+			hasTerm = true
+		}
+	}
+	if len(joined) > 500 && !hasTerm {
+		t.Fatalf("query terms never appear in record content")
+	}
+}
+
+func TestFlatEnginesExist(t *testing.T) {
+	engines := GenerateTestbed(DefaultConfig())
+	flat := 0
+	for _, e := range engines {
+		if e.Schema.Flat {
+			flat++
+		}
+	}
+	if flat == 0 {
+		t.Fatalf("no flat-layout engines; Figure-1 hard case untested")
+	}
+}
+
+func TestNonSiblingEnginesExist(t *testing.T) {
+	engines := GenerateTestbed(DefaultConfig())
+	n := 0
+	for _, e := range engines {
+		for _, ss := range e.Schema.Sections {
+			if ss.NonSiblingRecords {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatalf("no non-sibling sections; §6 failure mode untested")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

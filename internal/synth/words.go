@@ -1,0 +1,85 @@
+package synth
+
+// Word pools used to generate deterministic but varied page content.
+
+var queryWords = []string{
+	"knee", "injury", "ultrasound", "pregnancy", "colic", "lymphoma",
+	"cholesterol", "aspirin", "diabetes", "allergy", "vitamin", "fibroid",
+	"laser", "therapy", "salt", "thirst", "guide", "driver", "baby",
+	"pyramid", "camera", "laptop", "battery", "garden", "mortgage",
+	"insurance", "travel", "hotel", "flight", "recipe", "novel", "history",
+	"physics", "jazz", "guitar", "marathon", "yoga", "coffee", "cheese",
+}
+
+var titleWords = []string{
+	"Advanced", "Complete", "Essential", "Practical", "Modern", "Classic",
+	"Ultimate", "Official", "Expert", "Daily", "Weekly", "Annual",
+	"Review", "Report", "Study", "Analysis", "Overview", "Introduction",
+	"Handbook", "Manual", "Guide", "Journal", "Digest", "Bulletin",
+	"Update", "Summary", "Findings", "Results", "Methods", "Trends",
+}
+
+var snippetWords = []string{
+	"the", "research", "shows", "that", "patients", "often", "benefit",
+	"from", "early", "treatment", "and", "careful", "monitoring", "while",
+	"experts", "recommend", "a", "balanced", "approach", "with", "regular",
+	"checkups", "new", "findings", "suggest", "improved", "outcomes",
+	"for", "most", "cases", "according", "to", "recent", "studies",
+	"published", "this", "year", "by", "leading", "researchers",
+}
+
+var sectionHeadings = []string{
+	"Encyclopedia", "News", "Web Results", "Sponsored Links", "Products",
+	"Articles", "Reviews", "Discussions", "Images", "Videos", "Books",
+	"Local Results", "Shopping", "Related Searches", "Blogs", "Experts",
+	"Dr. Dean Edell", "Peoples Pharmacy", "Health Library", "Directory",
+}
+
+var siteWords = []string{
+	"Search", "Find", "Seek", "Quest", "Lookup", "Index", "Portal", "Hub",
+	"Central", "Depot", "Base", "Net", "Web", "Info", "Data", "Max",
+}
+
+var navLabels = []string{
+	"Home", "About Us", "Advanced Search", "Help", "Contact", "Sitemap",
+	"Preferences", "Sign In", "Register", "Feedback",
+}
+
+var footerTexts = []string{
+	"Copyright 2006 All rights reserved.",
+	"Terms of Use",
+	"Privacy Policy",
+	"Advertise with us",
+	"Jobs",
+}
+
+var falseSBMTexts = []string{
+	"Buy new:", "In stock.", "Free shipping available.", "Used from:",
+	"Add to cart", "Compare prices",
+}
+
+// markerAlphabet encodes marker identifiers without digits (digits would
+// be stripped by DSE's dynamic-component cleaning and could collide across
+// records).  Only a..m are used, so 'z' can serve as an unambiguous
+// separator between encoded components.
+const markerAlphabet = "abcdefghijklm"
+
+// encodeLetters encodes a non-negative integer in base-13 letters a..m.
+func encodeLetters(n int) string {
+	if n == 0 {
+		return "a"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append([]byte{markerAlphabet[n%13]}, buf...)
+		n /= 13
+	}
+	return string(buf)
+}
+
+// Marker builds the unique record marker token embedded in every content
+// line of a generated record: "qj<engine>z<query>z<section>z<record>".
+func Marker(engine, query, section, record int) string {
+	return "qj" + encodeLetters(engine) + "z" + encodeLetters(query) +
+		"z" + encodeLetters(section) + "z" + encodeLetters(record)
+}

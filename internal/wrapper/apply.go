@@ -1,0 +1,297 @@
+package wrapper
+
+import (
+	"mse/internal/dom"
+	"mse/internal/dse"
+	"mse/internal/layout"
+	"mse/internal/mining"
+	"mse/internal/visual"
+)
+
+// ExtractedRecord is one search result record pulled from a page.
+type ExtractedRecord struct {
+	// Lines are the record's content-line texts, in order.
+	Lines []string
+	// Links are the href values of anchors in the record.
+	Links []string
+	// Start and End give the record's line range on the page.
+	Start, End int
+}
+
+// ExtractedSection is one extracted dynamic section with its records, the
+// section-record relationship the paper requires wrappers to maintain.
+type ExtractedSection struct {
+	// Heading is the text of the section's left boundary marker, if any.
+	Heading string
+	// Order is the originating wrapper's section-schema position (-1 for
+	// family-discovered hidden sections).
+	Order int
+	// Start and End give the section's line range on the page.
+	Start, End int
+	// Records are the section's records in order.
+	Records []ExtractedRecord
+	// FromFamily marks sections found via a section family rather than a
+	// regular wrapper.
+	FromFamily bool
+}
+
+// Apply runs the wrapper against a rendered page.  It returns nil when the
+// section is absent.  query lists the query terms used to retrieve the
+// page (they are removed before boundary-marker texts are compared); it
+// may be nil.
+func (w *SectionWrapper) Apply(p *layout.Page, query []string, opt Options) *ExtractedSection {
+	// Candidates are every subtree with a compatible compact path, nearest
+	// sibling counts first.  Boundary markers — not raw path distance —
+	// decide which candidate is the section: the paper's SBMs "precisely
+	// bound sections" (§2), and on pages where other sections are hidden
+	// the sibling offsets shift while the markers stay.
+	cands := dom.LocateCompactAll(p.Doc, w.Pref)
+	const maxCandidates = 24
+	if len(cands) > maxCandidates {
+		cands = cands[:maxCandidates]
+	}
+	for _, t := range cands {
+		if s := w.applyAt(p, t, query, opt); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// applyAt attempts extraction with t as the section subtree; nil when the
+// candidate fails boundary validation.
+func (w *SectionWrapper) applyAt(p *layout.Page, t *dom.Node, query []string, opt Options) *ExtractedSection {
+	first, last, ok := p.Span(t)
+	if !ok {
+		return nil
+	}
+	start, end := first, last+1
+
+	// Heading: the nearest preceding line matching a known LBM text.
+	heading := ""
+	if start > 0 {
+		if txt := dse.CleanLine(&p.Lines[start-1], query); matchesAny(txt, w.LBMs) {
+			heading = p.Lines[start-1].Text
+		}
+	}
+	// Flat layouts: the subtree contains the boundary lines themselves.
+	// Clip the range to the lines between our LBM and the next boundary.
+	if heading == "" {
+		if lbm := findLineByText(p, start, end, w.LBMs, query); lbm >= 0 {
+			heading = p.Lines[lbm].Text
+			start = lbm + 1
+			for i := start; i < end; i++ {
+				if attrsEqual(attrSetOf(p.Lines[i].Attrs), w.LBMAttrs) ||
+					matchesAny(dse.CleanLine(&p.Lines[i], query), w.RBMs) {
+					end = i
+					break
+				}
+			}
+		}
+	}
+	if start >= end {
+		return nil
+	}
+	// Boundary-marker validation: when the wrapper learned an LBM, the
+	// candidate subtree must actually sit under that marker.
+	if len(w.LBMs) > 0 && heading == "" {
+		return nil
+	}
+	records := w.partition(p, start, end, opt)
+	return &ExtractedSection{
+		Heading: heading,
+		Order:   w.Order,
+		Start:   start,
+		End:     end,
+		Records: extractRecords(p, records),
+	}
+}
+
+// partition splits [start, end) into records using the stored separator,
+// falling back to cohesion-based mining when the separator does not match
+// this page.
+func (w *SectionWrapper) partition(p *layout.Page, start, end int, opt Options) []visual.Block {
+	if blocks := partitionBySep(p, start, end, w.Sep); blocks != nil {
+		return blocks
+	}
+	return mining.MineRecords(p, start, end, opt.Mining)
+}
+
+// partitionBySep applies a Separator to a line range; nil when the
+// separator matches nothing there.  Records start at the forest roots
+// whose structural signature equals the stored one.  When every root
+// carries the signature (uniform rows without a distinctive first row)
+// the roots-per-record count groups them instead.
+func partitionBySep(p *layout.Page, start, end int, sep Separator) []visual.Block {
+	roots := mining.ExpandedForest(p, start, end)
+	if len(roots) == 0 {
+		return nil
+	}
+	// The separator's signatures live at the record-root level; when the
+	// section range spans container nodes (several sections merged into
+	// one DS, or wrapper-level drift) the exact signatures may only match
+	// one level deeper.  Descend while no root matches exactly.
+	for depth := 0; depth < 3; depth++ {
+		exact := 0
+		for _, r := range roots {
+			if sep.isStart(mining.RootSignature(r)) {
+				exact++
+			}
+		}
+		if exact > 0 {
+			break
+		}
+		var kids []*dom.Node
+		for _, r := range roots {
+			for c := r.FirstChild; c != nil; c = c.NextSibling {
+				if _, _, ok := p.Span(c); ok {
+					kids = append(kids, c)
+				}
+			}
+		}
+		if len(kids) <= len(roots) {
+			break
+		}
+		roots = kids
+	}
+	starts := 0
+	interiors := 0
+	var sigStarts []int
+	for _, r := range roots {
+		sig := mining.RootSignature(r)
+		isStart := sep.isStart(sig)
+		if !isStart && !sep.isInterior(sig) {
+			// Unknown signature (a record variant the samples never
+			// showed, e.g. a record without its optional snippet).  Fall
+			// back to the tag level: it starts a record when its tag is a
+			// known start tag that never occurs inside records.
+			tag := sigTag(sig)
+			isStart = containsTag(sep.StartSigs, tag) && !containsTag(sep.InteriorSigs, tag)
+		}
+		switch {
+		case isStart:
+			starts++
+			if s, _, ok := p.Span(r); ok {
+				sigStarts = append(sigStarts, s)
+			}
+		case sep.isInterior(sig):
+			interiors++
+		}
+	}
+	switch {
+	case starts == 0:
+		return nil // separator does not match this page; mine instead
+	case starts < len(roots) || sep.RootsPerRecord <= 1:
+		// Start roots delimit records; interior/unknown roots attach to
+		// the preceding record.
+		return blocksFromStarts(p, start, end, sigStarts)
+	default:
+		// All roots look like starts but training saw multi-root records:
+		// group uniformly.
+		var groupStarts []int
+		for i := 0; i < len(roots); i += sep.RootsPerRecord {
+			if s, _, ok := p.Span(roots[i]); ok {
+				groupStarts = append(groupStarts, s)
+			}
+		}
+		return blocksFromStarts(p, start, end, groupStarts)
+	}
+}
+
+// sigTag extracts the root tag from a structural signature.
+func sigTag(sig string) string {
+	if i := indexByte(sig, '('); i >= 0 {
+		return sig[:i]
+	}
+	return sig
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// containsTag reports whether any signature in the list has the given root
+// tag.
+func containsTag(sigs []string, tag string) bool {
+	for _, s := range sigs {
+		if sigTag(s) == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func blocksFromStarts(p *layout.Page, start, end int, starts []int) []visual.Block {
+	if len(starts) == 0 {
+		return nil
+	}
+	var out []visual.Block
+	for i, s := range starts {
+		if s < start {
+			s = start
+		}
+		e := end
+		if i+1 < len(starts) && starts[i+1] < e {
+			e = starts[i+1]
+		}
+		if s < e {
+			out = append(out, visual.Block{Page: p, Start: s, End: e})
+		}
+	}
+	if len(out) > 0 {
+		out[0].Start = start
+	}
+	return out
+}
+
+func extractRecords(p *layout.Page, blocks []visual.Block) []ExtractedRecord {
+	out := make([]ExtractedRecord, 0, len(blocks))
+	for _, b := range blocks {
+		rec := ExtractedRecord{Start: b.Start, End: b.End}
+		for _, l := range b.Lines() {
+			rec.Lines = append(rec.Lines, l.Text)
+			rec.Links = append(rec.Links, l.Links...)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// findLineByText returns the first line in [start, end) whose cleaned text
+// matches one of the given texts, or -1.
+func findLineByText(p *layout.Page, start, end int, texts []string, query []string) int {
+	if len(texts) == 0 {
+		return -1
+	}
+	for i := start; i < end && i < len(p.Lines); i++ {
+		if matchesAny(dse.CleanLine(&p.Lines[i], query), texts) {
+			return i
+		}
+	}
+	return -1
+}
+
+func matchesAny(s string, list []string) bool {
+	if s == "" {
+		return false
+	}
+	for _, t := range list {
+		if s == t {
+			return true
+		}
+	}
+	return false
+}
+
+// attrSetOf returns a sorted copy of a line's attribute set so it can be
+// compared against stored wrapper attrs.
+func attrSetOf(attrs []layout.TextAttr) []layout.TextAttr {
+	out := append([]layout.TextAttr(nil), attrs...)
+	sortAttrs(out)
+	return out
+}

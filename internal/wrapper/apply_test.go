@@ -1,0 +1,115 @@
+package wrapper
+
+import (
+	"testing"
+
+	"mse/internal/layout"
+	"mse/internal/mining"
+)
+
+func TestPartitionBySepExactSignatures(t *testing.T) {
+	p := render(`<body><table>
+	<tr><td><a href="/1">A</a><br>sa</td></tr>
+	<tr><td><a href="/2">B</a><br>sb</td></tr>
+	<tr><td><a href="/3">C</a><br>sc</td></tr>
+	</table></body>`)
+	roots := p.Forest(0, 2) // first record row
+	if len(roots) != 1 {
+		t.Fatalf("setup: record forest = %d roots", len(roots))
+	}
+	sep := Separator{StartSigs: []string{sigOf(t, p, 0, 2)}}
+	blocks := partitionBySep(p, 0, 6, sep)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	for i, b := range blocks {
+		if b.Len() != 2 {
+			t.Fatalf("block %d has %d lines", i, b.Len())
+		}
+	}
+}
+
+// sigOf extracts the root signature of the record covering [start, end).
+func sigOf(t *testing.T, p *layout.Page, start, end int) string {
+	t.Helper()
+	roots := p.Forest(start, end)
+	if len(roots) == 0 {
+		t.Fatalf("no forest for [%d,%d)", start, end)
+	}
+	return mining.RootSignature(roots[0])
+}
+
+func TestPartitionBySepTagFallback(t *testing.T) {
+	// Stored signature describes a 2-line li; the page has an unseen
+	// 1-line li variant, recognized at the tag level.
+	train := render(`<body><ul>
+	<li><a href="/1">A</a><br>sa</li>
+	<li><a href="/2">B</a><br>sb</li>
+	</ul></body>`)
+	sep := Separator{StartSigs: []string{sigOf(t, train, 0, 2)}}
+
+	apply := render(`<body><ul>
+	<li><a href="/1">A</a><br>sa</li>
+	<li><a href="/2">B only title</a></li>
+	<li><a href="/3">C</a><br>sc</li>
+	</ul></body>`)
+	blocks := partitionBySep(apply, 0, 5, sep)
+	if len(blocks) != 3 {
+		for _, b := range blocks {
+			t.Logf("block [%d,%d)", b.Start, b.End)
+		}
+		t.Fatalf("blocks = %d, want 3 (unseen variant via tag fallback)", len(blocks))
+	}
+}
+
+func TestPartitionBySepNoMatchReturnsNil(t *testing.T) {
+	p := render(`<body><div>just a line</div><div>another line</div></body>`)
+	sep := Separator{StartSigs: []string{"tr(td[a,])"}}
+	if blocks := partitionBySep(p, 0, 2, sep); blocks != nil {
+		t.Fatalf("mismatched separator should yield nil, got %d blocks", len(blocks))
+	}
+}
+
+func TestPartitionBySepDeepens(t *testing.T) {
+	// The range covers a container whose children carry the signatures.
+	train := render(`<body><div class="r"><a href="/1">A</a><br>sa</div><p>footer</p></body>`)
+	sep := Separator{StartSigs: []string{sigOf(t, train, 0, 2)}}
+
+	apply := render(`<body><div><div class="wrap">
+	<div class="r"><a href="/1">A</a><br>sa</div>
+	<div class="r"><a href="/2">B</a><br>sb</div>
+	</div></div></body>`)
+	blocks := partitionBySep(apply, 0, 4, sep)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (one level deeper)", len(blocks))
+	}
+}
+
+func TestBlocksFromStartsClamping(t *testing.T) {
+	p := render(`<body><p>a</p><p>b</p><p>c</p><p>d</p></body>`)
+	blocks := blocksFromStarts(p, 0, 4, []int{1, 3})
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if blocks[0].Start != 0 || blocks[0].End != 3 || blocks[1].End != 4 {
+		t.Fatalf("clamping wrong: %v", blocks)
+	}
+	if got := blocksFromStarts(p, 0, 4, nil); got != nil {
+		t.Fatalf("empty starts should yield nil")
+	}
+}
+
+func TestSigTagAndContainsTag(t *testing.T) {
+	if got := sigTag("tr(td[a,])"); got != "tr" {
+		t.Fatalf("sigTag = %q", got)
+	}
+	if got := sigTag("plain"); got != "plain" {
+		t.Fatalf("sigTag without children = %q", got)
+	}
+	if !containsTag([]string{"li(a[#text,])", "tr(td[])"}, "tr") {
+		t.Fatalf("containsTag missed tr")
+	}
+	if containsTag([]string{"li(a[#text,])"}, "tr") {
+		t.Fatalf("containsTag false positive")
+	}
+}
