@@ -1,0 +1,31 @@
+# Pre-merge gate: `make check` runs exactly what a PR must keep green —
+# tier-1 (build + full test suite), vet, and the race-sensitive packages
+# under the race detector.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The observability and service layers are the concurrency-heavy packages;
+# run them under the race detector.
+race:
+	$(GO) test -race ./internal/obs ./internal/serve
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

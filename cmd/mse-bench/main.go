@@ -5,7 +5,11 @@
 // Usage:
 //
 //	mse-bench [-table 1|2|3|stats|timing|ablation|baseline|all] [-seed 2006]
-//	          [-engines 119] [-multi 38]
+//	          [-engines 119] [-multi 38] [-trace]
+//
+// With -trace, a per-stage time breakdown of wrapper construction and
+// extraction (aggregated over the first ten engines) is appended, so a
+// benchmark regression can be attributed to a specific pipeline step.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"mse/internal/baseline"
 	"mse/internal/core"
 	"mse/internal/eval"
+	"mse/internal/obs"
 	"mse/internal/synth"
 )
 
@@ -25,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 2006, "test bed master seed")
 	engines := flag.Int("engines", 119, "number of engines")
 	multi := flag.Int("multi", 38, "number of multi-section engines")
+	trace := flag.Bool("trace", false, "append the per-stage pipeline time breakdown")
 	flag.Parse()
 
 	cfg := synth.Config{Seed: *seed, Engines: *engines, MultiSection: *multi, Queries: 10}
@@ -67,6 +73,53 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mse-bench: unknown table %q\n", *table)
 		os.Exit(2)
+	}
+	if *trace {
+		printTrace(bed)
+	}
+}
+
+// printTrace runs traced wrapper construction and extraction over the
+// first ten engines and prints the merged per-stage breakdown, the
+// attribution tool the BENCH trajectory uses to pin a regression on one
+// pipeline step.
+func printTrace(bed []*synth.Engine) {
+	n := 10
+	if n > len(bed) {
+		n = len(bed)
+	}
+	opt := core.DefaultOptions()
+	opt.Obs = obs.NewTracer()
+	for _, e := range bed[:n] {
+		var samples []*core.SamplePage
+		for q := 0; q < 5; q++ {
+			gp := e.Page(q)
+			samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+		}
+		ew, err := core.BuildWrapper(samples, opt)
+		if err != nil {
+			continue
+		}
+		for q := 5; q < 10; q++ {
+			gp := e.Page(q)
+			ew.Extract(gp.HTML, gp.Query)
+		}
+	}
+	var builds, extracts []*obs.SpanSnapshot
+	for _, snap := range opt.Obs.Snapshot() {
+		switch snap.Name {
+		case obs.RootBuildWrapper:
+			builds = append(builds, snap)
+		case obs.RootExtract:
+			extracts = append(extracts, snap)
+		}
+	}
+	fmt.Printf("\nPer-stage time breakdown (%d engines, 5 samples + 5 extractions each)\n", n)
+	if b := obs.Merge(builds); b != nil {
+		fmt.Printf("\n%s", b.Format())
+	}
+	if x := obs.Merge(extracts); x != nil {
+		fmt.Printf("\n%s", x.Format())
 	}
 }
 

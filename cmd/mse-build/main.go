@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	mse-build -out wrapper.json page1.html:query1+terms page2.html:query2+terms ...
+//	mse-build [-trace] -out wrapper.json page1.html:query1+terms page2.html:query2+terms ...
 //
 // Each argument is an HTML file path, optionally followed by ":" and the
 // query terms (separated by "+") that retrieved the page.  At least two
-// sample pages are required; the paper uses five.
+// sample pages are required; the paper uses five.  With -trace the
+// per-stage time breakdown of the pipeline is printed to stderr.
 package main
 
 import (
@@ -18,13 +19,15 @@ import (
 	"strings"
 
 	"mse"
+	"mse/internal/obs"
 )
 
 func main() {
 	out := flag.String("out", "wrapper.json", "output wrapper file")
+	trace := flag.Bool("trace", false, "print the per-stage time breakdown to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr,
-			"usage: mse-build [-out wrapper.json] page.html[:term+term...] ...\n")
+			"usage: mse-build [-trace] [-out wrapper.json] page.html[:term+term...] ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,9 +50,18 @@ func main() {
 		samples = append(samples, mse.SamplePage{HTML: string(data), Query: query})
 	}
 
-	w, err := mse.Train(samples, nil)
+	opt := mse.DefaultOptions()
+	if *trace {
+		opt.Obs = obs.NewTracer()
+	}
+	w, err := mse.Train(samples, &opt)
 	if err != nil {
 		fatal("training: %v", err)
+	}
+	if *trace {
+		for _, snap := range opt.Obs.Snapshot() {
+			fmt.Fprint(os.Stderr, snap.Format())
+		}
 	}
 	data, err := json.MarshalIndent(w, "", "  ")
 	if err != nil {

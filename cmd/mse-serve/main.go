@@ -3,24 +3,35 @@
 //
 // Usage:
 //
-//	mse-serve -addr :8080 -wrappers dir/
+//	mse-serve -addr :8080 -wrappers dir/ [-pprof] [-quiet]
 //
 // Every *.json file in the wrappers directory is loaded as one engine
 // wrapper named after the file (sans extension).  Endpoints:
 //
 //	GET  /healthz
 //	GET  /engines
+//	GET  /metrics                           JSON metrics snapshot
+//	GET  /statusz                           human-readable status page
 //	POST /extract?engine=NAME&q=term+term   (body: result page HTML)
+//
+// With -pprof the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/ and the expvar dump under /debug/vars.  The server drains
+// in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"mse/internal/core"
 	"mse/internal/serve"
@@ -29,12 +40,20 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dir := flag.String("wrappers", "wrappers", "directory of <engine>.json wrapper files")
+	withPprof := flag.Bool("pprof", false, "expose /debug/pprof/ and /debug/vars")
+	quiet := flag.Bool("quiet", false, "disable the per-request access log")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	reg := serve.NewRegistry(core.DefaultOptions())
+	if !*quiet {
+		reg.SetAccessLog(logger)
+	}
 	entries, err := os.ReadDir(*dir)
 	if err != nil {
-		log.Fatalf("mse-serve: reading %s: %v", *dir, err)
+		fatal(logger, "reading wrapper directory", err)
 	}
 	loaded := 0
 	for _, ent := range entries {
@@ -43,18 +62,48 @@ func main() {
 		}
 		data, err := os.ReadFile(filepath.Join(*dir, ent.Name()))
 		if err != nil {
-			log.Fatalf("mse-serve: reading %s: %v", ent.Name(), err)
+			fatal(logger, "reading "+ent.Name(), err)
 		}
 		name := strings.TrimSuffix(ent.Name(), ".json")
 		if err := reg.Add(name, data); err != nil {
-			log.Fatalf("mse-serve: %v", err)
+			fatal(logger, "loading wrapper", err)
 		}
 		loaded++
 	}
 	if loaded == 0 {
-		log.Fatalf("mse-serve: no wrapper files in %s", *dir)
+		logger.Error("no wrapper files found", "dir", *dir)
+		os.Exit(1)
 	}
-	fmt.Printf("mse-serve: %d engines loaded (%s); listening on %s\n",
-		loaded, strings.Join(reg.Names(), ", "), *addr)
-	log.Fatal(http.ListenAndServe(*addr, reg.Handler()))
+
+	reg.Metrics().Registry().Publish("mse")
+	mux := http.NewServeMux()
+	mux.Handle("/", reg.Handler())
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
+
+	logger.Info("listening",
+		"addr", *addr, "engines", loaded,
+		"names", strings.Join(reg.Names(), ","), "pprof", *withPprof)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := serve.NewServer(*addr, mux)
+	if err := serve.Run(ctx, srv, serve.RunConfig{
+		Logger:       logger,
+		DrainTimeout: *drain,
+		InFlight:     reg.Metrics().InFlight,
+	}); err != nil {
+		fatal(logger, "server", err)
+	}
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }

@@ -20,11 +20,13 @@ import (
 
 	"mse/internal/cluster"
 	"mse/internal/dse"
+	"mse/internal/editdist"
 	"mse/internal/granularity"
 	"mse/internal/htmlparse"
 	"mse/internal/layout"
 	"mse/internal/mining"
 	"mse/internal/mre"
+	"mse/internal/obs"
 	"mse/internal/refine"
 	"mse/internal/sect"
 	"mse/internal/wrapper"
@@ -53,6 +55,12 @@ type Options struct {
 	DisableGranularity bool
 	// DisableFamilies skips step 9 (ablation).
 	DisableFamilies bool
+	// Obs, when non-nil, receives one trace per BuildWrapper /
+	// AnalyzePages / Extract call: a root span with one child span per
+	// pipeline step plus stage counters (pages, sections, records,
+	// tree_dist_calls).  When nil — the default — instrumentation
+	// reduces to nil-receiver checks and costs nothing.
+	Obs *obs.Tracer
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -89,18 +97,38 @@ type Record = wrapper.ExtractedRecord
 var ErrNoSamplePages = errors.New("core: need at least two sample pages")
 
 // BuildWrapper runs the full MSE pipeline over the sample pages.
+//
+// When opt.Obs is set, one "build_wrapper" root span is recorded per call
+// with exactly one child span per pipeline step (obs.PipelineSteps) —
+// steps skipped by ablation options keep a zero-duration span — and the
+// counters pages, sections, records and tree_dist_calls.
 func BuildWrapper(samples []*SamplePage, opt Options) (*EngineWrapper, error) {
 	if len(samples) < 2 {
 		return nil, ErrNoSamplePages
 	}
+	root := opt.Obs.Start(obs.RootBuildWrapper)
+	defer root.End()
+	// Create the nine step spans up front so the trace always covers the
+	// full pipeline, even when an ablation skips a step.
+	for _, step := range obs.PipelineSteps {
+		root.Child(step)
+	}
+	root.Count("pages", int64(len(samples)))
+	edCalls := editdist.TreeCalls()
+
 	// Steps 1-6 per page (DSE works across pages).
-	pageSections, err := AnalyzePages(samples, opt)
+	pageSections, err := analyzePages(samples, opt, root)
 	if err != nil {
 		return nil, err
 	}
 	// Step 7: group section instances into schema clusters.
+	clusterSp := root.Child(obs.StepCluster)
+	t0 := clusterSp.Begin()
 	groups := cluster.GroupInstances(pageSections, opt.Cluster)
+	clusterSp.AddSince(t0)
 	// Step 8: one wrapper per group, ordered by document position.
+	wrapSp := root.Child(obs.StepWrapper)
+	t0 = wrapSp.Begin()
 	sort.SliceStable(groups, func(i, j int) bool {
 		return avgStart(groups[i]) < avgStart(groups[j])
 	})
@@ -108,26 +136,54 @@ func BuildWrapper(samples []*SamplePage, opt Options) (*EngineWrapper, error) {
 	for order, g := range groups {
 		ws = append(ws, wrapper.Build(g, pageSections, order, opt.Wrapper))
 	}
+	wrapSp.AddSince(t0)
 	// Step 9: section families.
 	var fams []*wrapper.Family
 	if !opt.DisableFamilies {
+		famSp := root.Child(obs.StepFamilies)
+		t0 = famSp.Begin()
 		ws, fams = wrapper.BuildFamilies(ws, opt.Wrapper)
+		famSp.AddSince(t0)
 	}
+	root.Count("tree_dist_calls", editdist.TreeCalls()-edCalls)
 	return &EngineWrapper{Wrappers: ws, Families: fams, opt: opt}, nil
 }
 
 // AnalyzePages executes steps 1-6 and returns, per sample page, the final
 // refined sections with records.  It is exported for evaluation harnesses
-// that score the training-time analysis directly.
+// that score the training-time analysis directly.  When opt.Obs is set it
+// records an "analyze_pages" root span with one child per step 1-6.
 func AnalyzePages(samples []*SamplePage, opt Options) ([]*cluster.PageSections, error) {
+	root := opt.Obs.Start(obs.RootAnalyzePages)
+	defer root.End()
+	return analyzePages(samples, opt, root)
+}
+
+// analyzePages is AnalyzePages recording its step spans under parent
+// (nil for none).  Step spans accumulate across the per-page loops, so
+// each step yields exactly one span regardless of sample count.
+func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span) ([]*cluster.PageSections, error) {
+	renderSp := parent.Child(obs.StepRender)
+	mreSp := parent.Child(obs.StepMRE)
 	inputs := make([]*dse.PageInput, len(samples))
 	for i, sp := range samples {
+		t0 := renderSp.Begin()
 		page := layout.Render(htmlparse.Parse(sp.HTML)) // step 1
-		mrs := mre.Extract(page, opt.MRE)               // step 2
+		renderSp.AddSince(t0)
+		t0 = mreSp.Begin()
+		mrs := mre.Extract(page, opt.MRE) // step 2
+		mreSp.AddSince(t0)
 		inputs[i] = &dse.PageInput{Page: page, Query: sp.Query, MRs: mrs}
 	}
+	dseSp := parent.Child(obs.StepDSE)
+	t0 := dseSp.Begin()
 	dss, marks := dse.Run(inputs, opt.DSE) // step 3
+	dseSp.AddSince(t0)
 
+	refineSp := parent.Child(obs.StepRefine)
+	miningSp := parent.Child(obs.StepMining)
+	granSp := parent.Child(obs.StepGranularity)
+	sectionCount, recordCount := int64(0), int64(0)
 	out := make([]*cluster.PageSections, len(samples))
 	for i, in := range inputs {
 		var sections []*sect.Section
@@ -135,19 +191,31 @@ func AnalyzePages(samples []*SamplePage, opt Options) ([]*cluster.PageSections, 
 			// Ablation: take DSs as sections and mine all of them.
 			sections = dss[i]
 		} else {
+			t0 = refineSp.Begin()
 			sections = refine.Refine(in.Page, in.MRs, dss[i], marks[i], opt.Refine) // step 4
+			refineSp.AddSince(t0)
 		}
+		t0 = miningSp.Begin()
 		for _, s := range sections { // step 5
 			if len(s.Records) == 0 {
 				mining.Mine(s, opt.Mining)
 			}
 		}
+		miningSp.AddSince(t0)
 		if !opt.DisableGranularity {
+			t0 = granSp.Begin()
 			sections = granularity.Resolve(in.Page, sections, opt.Granularity) // step 6
+			granSp.AddSince(t0)
 		}
 		sections = dropEmpty(sections)
 		out[i] = &cluster.PageSections{Page: in.Page, Query: in.Query, Sections: sections}
+		sectionCount += int64(len(sections))
+		for _, s := range sections {
+			recordCount += int64(len(s.Records))
+		}
 	}
+	parent.Count("sections", sectionCount)
+	parent.Count("records", recordCount)
 	return out, nil
 }
 
@@ -173,23 +241,44 @@ func avgStart(g *cluster.Group) float64 {
 // nil when the retrieving query is unknown.  Sections are returned in page
 // order; overlapping extractions are resolved in favour of regular
 // wrappers over family matches.
+//
+// When the wrapper's Options.Obs is set, each call records an "extract"
+// root span with render / wrapper_build / families children and sections
+// and records counters.
 func (ew *EngineWrapper) Extract(html string, query []string) []*Section {
+	root := ew.opt.Obs.Start(obs.RootExtract)
+	defer root.End()
+	renderSp := root.Child(obs.StepRender)
+	t0 := renderSp.Begin()
 	page := layout.Render(htmlparse.Parse(html))
-	return ew.ExtractFromPage(page, query)
+	renderSp.AddSince(t0)
+	return ew.extractFromPage(page, query, root)
 }
 
 // ExtractFromPage is Extract for an already rendered page.
 func (ew *EngineWrapper) ExtractFromPage(page *layout.Page, query []string) []*Section {
+	root := ew.opt.Obs.Start(obs.RootExtract)
+	defer root.End()
+	return ew.extractFromPage(page, query, root)
+}
+
+func (ew *EngineWrapper) extractFromPage(page *layout.Page, query []string, span *obs.Span) []*Section {
 	opt := ew.opt.Wrapper
 	var all []*Section
+	wrapSp := span.Child(obs.StepWrapper)
+	t0 := wrapSp.Begin()
 	for _, w := range ew.Wrappers {
 		if s := w.Apply(page, query, opt); s != nil {
 			all = append(all, s)
 		}
 	}
+	wrapSp.AddSince(t0)
+	famSp := span.Child(obs.StepFamilies)
+	t0 = famSp.Begin()
 	for _, f := range ew.Families {
 		all = append(all, f.Apply(page, query, opt)...)
 	}
+	famSp.AddSince(t0)
 	sort.SliceStable(all, func(i, j int) bool {
 		if all[i].Start != all[j].Start {
 			return all[i].Start < all[j].Start
@@ -211,6 +300,14 @@ func (ew *EngineWrapper) ExtractFromPage(page *layout.Page, query []string) []*S
 		if !dup {
 			out = append(out, s)
 		}
+	}
+	if span != nil {
+		span.Count("sections", int64(len(out)))
+		records := int64(0)
+		for _, s := range out {
+			records += int64(len(s.Records))
+		}
+		span.Count("records", records)
 	}
 	return out
 }

@@ -8,8 +8,21 @@
 package editdist
 
 import (
+	"sync/atomic"
+
 	"mse/internal/dom"
 )
+
+// treeCalls counts TreeEditDistance invocations process-wide.  Each call
+// runs a full Zhang-Shasha dynamic program, so the count measures how much
+// work a memoization cache could absorb; core exposes it per pipeline run
+// as the "tree_dist_calls" counter.
+var treeCalls atomic.Int64
+
+// TreeCalls returns the cumulative number of tree edit distance
+// computations since process start.  Callers interested in one pipeline
+// run take the difference around it.
+func TreeCalls() int64 { return treeCalls.Load() }
 
 // Costs parameterizes a generic string edit distance over element indices.
 // Sub returns the cost of substituting a[i] with b[j]; Del and Ins return
@@ -139,6 +152,7 @@ func nodeLabel(n *dom.Node) string {
 // the subtrees rooted at t1 and t2 with unit costs on relabel/insert/
 // delete.  Labels are tag names (all text nodes share one label).
 func TreeEditDistance(t1, t2 *dom.Node) int {
+	treeCalls.Add(1)
 	if t1 == nil && t2 == nil {
 		return 0
 	}

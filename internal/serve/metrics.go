@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"mse/internal/obs"
+)
+
+// Metrics aggregates service-level observability: an in-flight gauge, a
+// total request counter and, per engine, request/error/section/record
+// counters plus a latency histogram.  All metrics also live in an
+// obs.Registry under dotted names ("engine.<name>.requests", ...), which
+// is what /metrics serializes and what Publish exposes via expvar.
+type Metrics struct {
+	start    time.Time
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+	requests *obs.Counter
+	errors   *obs.Counter
+
+	mu      sync.Mutex
+	engines map[string]*engineMetrics
+}
+
+type engineMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	sections *obs.Counter
+	records  *obs.Counter
+	latency  *obs.Histogram
+}
+
+// NewMetrics returns an empty metrics set with its uptime clock started.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	return &Metrics{
+		start:    time.Now(),
+		reg:      reg,
+		inFlight: reg.Gauge("http.in_flight"),
+		requests: reg.Counter("http.requests_total"),
+		errors:   reg.Counter("http.errors_total"),
+		engines:  map[string]*engineMetrics{},
+	}
+}
+
+// Registry returns the underlying obs.Registry (e.g. to Publish it on
+// expvar).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// InFlight returns the number of requests currently being served.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Value() }
+
+// Uptime returns the time since the metrics (and in practice the service)
+// started.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// engine returns the per-engine metric set, creating it on first use.
+func (m *Metrics) engine(name string) *engineMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.engines[name]
+	if !ok {
+		prefix := "engine." + name + "."
+		em = &engineMetrics{
+			requests: m.reg.Counter(prefix + "requests"),
+			errors:   m.reg.Counter(prefix + "errors"),
+			sections: m.reg.Counter(prefix + "sections"),
+			records:  m.reg.Counter(prefix + "records"),
+			latency:  m.reg.Histogram(prefix+"latency", nil),
+		}
+		m.engines[name] = em
+	}
+	return em
+}
+
+// metricsResponse is the wire form of GET /metrics.
+type metricsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Metrics       obs.Snapshot `json:"metrics"`
+}
+
+// snapshot returns the /metrics payload.
+func (m *Metrics) snapshot() metricsResponse {
+	return metricsResponse{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Metrics:       m.reg.Snapshot(),
+	}
+}
+
+// writeStatusz renders the human-readable status page: uptime, in-flight
+// count and a per-engine table of request counts and latency quantiles.
+func (m *Metrics) writeStatusz(w io.Writer, engineNames []string) {
+	fmt.Fprintf(w, "mse-serve status\n")
+	fmt.Fprintf(w, "uptime:    %s\n", m.Uptime().Round(time.Second))
+	fmt.Fprintf(w, "in-flight: %d\n", m.InFlight())
+	fmt.Fprintf(w, "requests:  %d\n", m.requests.Value())
+	fmt.Fprintf(w, "engines:   %d\n\n", len(engineNames))
+
+	// Show every loaded engine, including ones never hit, plus any
+	// engine that collected metrics before being removed.
+	m.mu.Lock()
+	names := map[string]bool{}
+	for _, n := range engineNames {
+		names[n] = true
+	}
+	for n := range m.engines {
+		names[n] = true
+	}
+	m.mu.Unlock()
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "%-20s %9s %7s %9s %9s %9s %9s %9s\n",
+		"engine", "requests", "errors", "sections", "records", "p50", "p95", "p99")
+	for _, n := range sorted {
+		em := m.engine(n)
+		fmt.Fprintf(w, "%-20s %9d %7d %9d %9d %9s %9s %9s\n",
+			n, em.requests.Value(), em.errors.Value(),
+			em.sections.Value(), em.records.Value(),
+			fmtQuantile(em.latency, 0.50),
+			fmtQuantile(em.latency, 0.95),
+			fmtQuantile(em.latency, 0.99))
+	}
+}
+
+func fmtQuantile(h *obs.Histogram, q float64) string {
+	if h.Count() == 0 {
+		return "-"
+	}
+	return h.Quantile(q).Round(100 * time.Microsecond).String()
+}

@@ -5,19 +5,28 @@
 //
 //	GET  /engines                 list the loaded engine wrappers
 //	GET  /healthz                 liveness
+//	GET  /metrics                 JSON metrics snapshot (counters, gauges,
+//	                              latency histograms with p50/p95/p99)
+//	GET  /statusz                 human-readable uptime / per-engine table
 //	POST /extract?engine=NAME&q=term+term
 //	                              body: the result page HTML;
 //	                              response: sections with annotated records
+//
+// Error responses are JSON objects {"error": ..., "engine": ...}.  With
+// SetAccessLog the registry emits one structured log line per request
+// (method, path, engine, status, bytes, duration).
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"mse/internal/annotate"
 	"mse/internal/core"
@@ -33,13 +42,26 @@ type Registry struct {
 	mu       sync.RWMutex
 	wrappers map[string]*core.EngineWrapper
 	opts     core.Options
+	metrics  *Metrics
+	log      *slog.Logger
 }
 
 // NewRegistry returns an empty registry using the given pipeline options
 // for wrapper application.
 func NewRegistry(opts core.Options) *Registry {
-	return &Registry{wrappers: map[string]*core.EngineWrapper{}, opts: opts}
+	return &Registry{
+		wrappers: map[string]*core.EngineWrapper{},
+		opts:     opts,
+		metrics:  NewMetrics(),
+	}
 }
+
+// Metrics returns the registry's metrics set.
+func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// SetAccessLog installs a structured access logger; nil disables logging
+// (the default).
+func (r *Registry) SetAccessLog(l *slog.Logger) { r.log = l }
 
 // Add registers (or replaces) a wrapper under the given engine name.
 func (r *Registry) Add(name string, data []byte) error {
@@ -99,7 +121,8 @@ type extractResponse struct {
 	Sections []sectionJSON `json:"sections"`
 }
 
-// Handler returns the HTTP handler serving the registry.
+// Handler returns the HTTP handler serving the registry.  Every request
+// passes through the metrics/access-log middleware.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
@@ -108,32 +131,104 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/engines", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.Names())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.metrics.snapshot())
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.metrics.writeStatusz(w, r.Names())
+	})
 	mux.HandleFunc("/extract", r.handleExtract)
-	return mux
+	return r.instrument(mux)
+}
+
+// statusWriter captures the response status and byte count for metrics
+// and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps h with the in-flight gauge, the total request counter
+// and the structured access log.
+func (r *Registry) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		m := r.metrics
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		m.requests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, req)
+		if r.log != nil {
+			r.log.Info("request",
+				"method", req.Method,
+				"path", req.URL.Path,
+				"engine", req.URL.Query().Get("engine"),
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration", time.Since(start).Round(time.Microsecond),
+			)
+		}
+	})
+}
+
+// errorJSON is the wire form of an error response.
+type errorJSON struct {
+	Error  string `json:"error"`
+	Engine string `json:"engine,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, engine, msg string) {
+	writeJSON(w, status, errorJSON{Error: msg, Engine: engine})
 }
 
 func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
+	name := req.URL.Query().Get("engine")
 	if req.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusMethodNotAllowed, name, "POST required")
 		return
 	}
-	name := req.URL.Query().Get("engine")
 	if name == "" {
-		http.Error(w, "missing ?engine=", http.StatusBadRequest)
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusBadRequest, "", "missing ?engine=")
 		return
 	}
 	ew, ok := r.get(name)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown engine %q", name), http.StatusNotFound)
+		// Deliberately not tracked per engine: arbitrary names in the
+		// query string must not grow the metrics map without bound.
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusNotFound, name, fmt.Sprintf("unknown engine %q", name))
 		return
 	}
+	em := r.metrics.engine(name)
+	em.requests.Inc()
 	body, err := io.ReadAll(io.LimitReader(req.Body, MaxPageBytes+1))
 	if err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		em.errors.Inc()
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusBadRequest, name, "reading body: "+err.Error())
 		return
 	}
 	if len(body) > MaxPageBytes {
-		http.Error(w, "page too large", http.StatusRequestEntityTooLarge)
+		em.errors.Inc()
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusRequestEntityTooLarge, name,
+			fmt.Sprintf("page exceeds %d bytes", MaxPageBytes))
 		return
 	}
 	var query []string
@@ -141,8 +236,13 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 		query = strings.FieldsFunc(q, func(r rune) bool { return r == '+' || r == ' ' })
 	}
 
+	start := time.Now()
+	sections := ew.Extract(string(body), query)
+	em.latency.Observe(time.Since(start))
+
 	resp := extractResponse{Engine: name, Sections: []sectionJSON{}}
-	for _, s := range ew.Extract(string(body), query) {
+	records := int64(0)
+	for _, s := range sections {
 		sj := sectionJSON{Heading: s.Heading, Records: []recordJSON{}}
 		for _, rec := range s.Records {
 			rj := recordJSON{Lines: rec.Lines, Links: rec.Links}
@@ -151,8 +251,11 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 			}
 			sj.Records = append(sj.Records, rj)
 		}
+		records += int64(len(s.Records))
 		resp.Sections = append(resp.Sections, sj)
 	}
+	em.sections.Add(int64(len(sections)))
+	em.records.Add(records)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -5,33 +5,47 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"mse/internal/core"
 	"mse/internal/synth"
 )
 
+// testWrapper trains the demo wrapper once per test binary; every test
+// gets its own Registry loaded from the cached JSON.
+var testWrapper = struct {
+	once   sync.Once
+	engine *synth.Engine
+	data   []byte
+	err    error
+}{}
+
 func testRegistry(t *testing.T) (*Registry, *synth.Engine) {
 	t.Helper()
-	e := synth.NewEngine(55, 3, true)
-	var samples []*core.SamplePage
-	for q := 0; q < 5; q++ {
-		gp := e.Page(q)
-		samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
-	}
-	ew, err := core.BuildWrapper(samples, core.DefaultOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	data, err := json.Marshal(ew)
-	if err != nil {
-		t.Fatal(err)
+	testWrapper.once.Do(func() {
+		e := synth.NewEngine(55, 3, true)
+		testWrapper.engine = e
+		var samples []*core.SamplePage
+		for q := 0; q < 5; q++ {
+			gp := e.Page(q)
+			samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+		}
+		ew, err := core.BuildWrapper(samples, core.DefaultOptions())
+		if err != nil {
+			testWrapper.err = err
+			return
+		}
+		testWrapper.data, testWrapper.err = json.Marshal(ew)
+	})
+	if testWrapper.err != nil {
+		t.Fatal(testWrapper.err)
 	}
 	reg := NewRegistry(core.DefaultOptions())
-	if err := reg.Add("demo", data); err != nil {
+	if err := reg.Add("demo", testWrapper.data); err != nil {
 		t.Fatal(err)
 	}
-	return reg, e
+	return reg, testWrapper.engine
 }
 
 func TestHealthz(t *testing.T) {

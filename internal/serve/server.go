@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewServer wraps the handler in an http.Server with production limits:
+// header/read/write/idle timeouts and a bounded header size, so one slow
+// or malicious client cannot pin a connection forever.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// RunConfig tunes Run.
+type RunConfig struct {
+	// Logger receives shutdown progress lines; nil silences them.
+	Logger *slog.Logger
+	// DrainTimeout bounds the graceful drain of in-flight requests
+	// (default 30s); after it expires remaining connections are closed.
+	DrainTimeout time.Duration
+	// InFlight, when set, reports the number of requests still being
+	// served; it is logged when the drain starts.
+	InFlight func() int64
+	// Listener, when set, is served instead of listening on srv.Addr
+	// (used by tests to grab an ephemeral port).
+	Listener net.Listener
+}
+
+// Run serves srv until ctx is cancelled, then shuts it down gracefully,
+// draining in-flight requests.  It returns nil after a clean shutdown and
+// the serve or shutdown error otherwise.
+func Run(ctx context.Context, srv *http.Server, cfg RunConfig) error {
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if cfg.Listener != nil {
+			errc <- srv.Serve(cfg.Listener)
+		} else {
+			errc <- srv.ListenAndServe()
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		// Listen failed (or the server was stopped out-of-band) before
+		// ctx was cancelled.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	if cfg.Logger != nil {
+		attrs := []any{"drain_timeout", cfg.DrainTimeout}
+		if cfg.InFlight != nil {
+			attrs = append(attrs, "in_flight", cfg.InFlight())
+		}
+		cfg.Logger.Info("shutdown: draining in-flight requests", attrs...)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-errc // ListenAndServe has returned ErrServerClosed by now
+	if cfg.Logger != nil {
+		if err != nil {
+			cfg.Logger.Error("shutdown: drain incomplete", "err", err)
+		} else {
+			cfg.Logger.Info("shutdown: complete")
+		}
+	}
+	return err
+}
