@@ -17,15 +17,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The observability and service layers are the concurrency-heavy packages;
-# run them under the race detector.
+# The concurrency-heavy packages — observability, the service layer, the
+# tree-distance cache, fingerprinting, the worker pool and the parallel
+# pipeline stages — run under the race detector, plus the end-to-end
+# differential test that pins cached/parallel output to the serial
+# uncached reference.
 race:
-	$(GO) test -race ./internal/obs ./internal/serve
+	$(GO) test -race ./internal/obs ./internal/serve ./internal/editdist \
+		./internal/dom ./internal/par ./internal/cluster ./internal/core
+	$(GO) test -race -run 'TestDifferential' .
 
 check: build vet test race
 
+# bench regenerates the paper-table benchmarks with allocation stats and
+# records the raw runs in a dated BENCH_<date>.json for before/after
+# comparisons across PRs.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run NONE -bench 'BenchmarkTable|BenchmarkWrapper|BenchmarkExtractionThroughput' \
+		-benchmem -json . | tee BENCH_$$(date +%Y-%m-%d).json
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 
 	"mse/internal/baseline"
 	"mse/internal/core"
+	"mse/internal/editdist"
 	"mse/internal/eval"
 	"mse/internal/synth"
 )
@@ -291,6 +292,62 @@ func BenchmarkBaselineMDR(b *testing.B) {
 			tt := res.Total()
 			b.Logf("%s: R-Tot %.1f%%  P-Tot %.1f%%", sys.name,
 				100*tt.RecallTotal(), 100*tt.PrecisionTotal())
+		})
+	}
+}
+
+// BenchmarkTreeDistMemoization is the ablation for this PR's tentpole: the
+// full Table-1 evaluation over a slice of the test bed with the
+// tree-distance memoization cache on (the default) versus off (the original
+// fresh-dynamic-program-per-call path).  The ratio of the two is the cache's
+// end-to-end speedup; the differential test pins their outputs equal.
+func BenchmarkTreeDistMemoization(b *testing.B) {
+	engines := testbed()[:24]
+	was := editdist.CacheEnabled()
+	defer editdist.SetCacheEnabled(was)
+	for _, v := range []struct {
+		name   string
+		cached bool
+	}{
+		{"cached", true},
+		{"uncached", false},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			editdist.SetCacheEnabled(v.cached)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mseRun(engines, false, core.DefaultOptions(), 5)
+			}
+			if v.cached {
+				s := editdist.Stats()
+				b.Logf("cache: lookups=%d identical=%d hits=%d misses=%d early-exits=%d hit-rate=%.1f%%",
+					s.Lookups, s.Identical, s.Hits, s.Misses, s.EarlyExits, 100*s.HitRate())
+			}
+		})
+	}
+}
+
+// BenchmarkParallelismScaling measures wrapper construction at explicit
+// worker counts; on a single-core host the 1/2/4 worker rows coincide, and
+// the differential test guarantees the outputs do regardless.
+func BenchmarkParallelismScaling(b *testing.B) {
+	e := synth.NewEngine(2006, 3, true)
+	var samples []*core.SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildWrapper(samples, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

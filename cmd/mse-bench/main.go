@@ -5,11 +5,16 @@
 // Usage:
 //
 //	mse-bench [-table 1|2|3|stats|timing|ablation|baseline|all] [-seed 2006]
-//	          [-engines 119] [-multi 38] [-trace]
+//	          [-engines 119] [-multi 38] [-trace] [-parallelism N]
+//	          [-no-tree-cache]
 //
 // With -trace, a per-stage time breakdown of wrapper construction and
-// extraction (aggregated over the first ten engines) is appended, so a
-// benchmark regression can be attributed to a specific pipeline step.
+// extraction (aggregated over the first ten engines) is appended —
+// together with the tree-distance cache counters and the effective worker
+// count — so a benchmark regression can be attributed to a specific
+// pipeline step.  -parallelism sets the pipeline worker count (0 =
+// GOMAXPROCS); -no-tree-cache disables tree-distance memoization and runs
+// the original uncached reference path.
 package main
 
 import (
@@ -20,10 +25,24 @@ import (
 
 	"mse/internal/baseline"
 	"mse/internal/core"
+	"mse/internal/editdist"
 	"mse/internal/eval"
 	"mse/internal/obs"
+	"mse/internal/par"
 	"mse/internal/synth"
 )
+
+// parallelism is the -parallelism flag: the worker count handed to every
+// pipeline run (0 = GOMAXPROCS).
+var parallelism int
+
+// benchOpts is core.DefaultOptions with the command-line parallelism
+// applied; every pipeline invocation in this command goes through it.
+func benchOpts() core.Options {
+	opt := core.DefaultOptions()
+	opt.Parallelism = parallelism
+	return opt
+}
 
 func main() {
 	table := flag.String("table", "all", "which result to regenerate: 1, 2, 3, stats, timing, ablation, baseline, all")
@@ -31,12 +50,17 @@ func main() {
 	engines := flag.Int("engines", 119, "number of engines")
 	multi := flag.Int("multi", 38, "number of multi-section engines")
 	trace := flag.Bool("trace", false, "append the per-stage pipeline time breakdown")
+	flag.IntVar(&parallelism, "parallelism", 0, "pipeline worker count (0 = GOMAXPROCS)")
+	cacheOff := flag.Bool("no-tree-cache", false, "disable tree-distance memoization (reference path)")
 	flag.Parse()
+	if *cacheOff {
+		editdist.SetCacheEnabled(false)
+	}
 
 	cfg := synth.Config{Seed: *seed, Engines: *engines, MultiSection: *multi, Queries: 10}
 	bed := synth.GenerateTestbed(cfg)
 
-	mseExtractor := func() eval.Extractor { return eval.NewMSE(core.DefaultOptions()) }
+	mseExtractor := func() eval.Extractor { return eval.NewMSE(benchOpts()) }
 	run := func(multiOnly bool, newEx func() eval.Extractor) eval.Result {
 		return eval.Run(bed, eval.RunConfig{
 			SampleCount: 5, PageCount: 10, MultiOnly: multiOnly, NewExtractor: newEx,
@@ -88,8 +112,9 @@ func printTrace(bed []*synth.Engine) {
 	if n > len(bed) {
 		n = len(bed)
 	}
-	opt := core.DefaultOptions()
+	opt := benchOpts()
 	opt.Obs = obs.NewTracer()
+	cs0 := editdist.Stats()
 	for _, e := range bed[:n] {
 		var samples []*core.SamplePage
 		for q := 0; q < 5; q++ {
@@ -121,6 +146,11 @@ func printTrace(bed []*synth.Engine) {
 	if x := obs.Merge(extracts); x != nil {
 		fmt.Printf("\n%s", x.Format())
 	}
+	cs := editdist.Stats().Sub(cs0)
+	fmt.Printf("\nparallelism: %d workers (flag %d; 0 = GOMAXPROCS)\n", par.Workers(parallelism), parallelism)
+	fmt.Printf("tree-distance cache: enabled=%v lookups=%d identical=%d hits=%d misses=%d early-exits=%d evictions=%d entries=%d hit-rate=%.1f%%\n",
+		editdist.CacheEnabled(), cs.Lookups, cs.Identical, cs.Hits, cs.Misses,
+		cs.EarlyExits, cs.Evictions, cs.Entries, 100*cs.HitRate())
 }
 
 func printSectionTable(title string, res eval.Result) {
@@ -176,7 +206,7 @@ func printTiming(bed []*synth.Engine) {
 			samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
 		}
 		start := time.Now()
-		ew, err := core.BuildWrapper(samples, core.DefaultOptions())
+		ew, err := core.BuildWrapper(samples, benchOpts())
 		if err != nil {
 			continue
 		}
@@ -222,7 +252,7 @@ func printStyleBreakdown(bed []*synth.Engine) {
 		}
 		res := eval.Run(subset, eval.RunConfig{
 			SampleCount: 5, PageCount: 10,
-			NewExtractor: func() eval.Extractor { return eval.NewMSE(core.DefaultOptions()) },
+			NewExtractor: func() eval.Extractor { return eval.NewMSE(benchOpts()) },
 		})
 		tt := res.Total()
 		fmt.Printf("%-12s %8d %8.1f %8.1f %8.1f\n", b.name, len(subset),
@@ -236,10 +266,10 @@ func printAblations(bed []*synth.Engine) {
 		name string
 		opt  core.Options
 	}{
-		{"full MSE", core.DefaultOptions()},
-		{"no refinement (step 4)", func() core.Options { o := core.DefaultOptions(); o.DisableRefine = true; return o }()},
-		{"no granularity (step 6)", func() core.Options { o := core.DefaultOptions(); o.DisableGranularity = true; return o }()},
-		{"no families (step 9)", func() core.Options { o := core.DefaultOptions(); o.DisableFamilies = true; return o }()},
+		{"full MSE", benchOpts()},
+		{"no refinement (step 4)", func() core.Options { o := benchOpts(); o.DisableRefine = true; return o }()},
+		{"no granularity (step 6)", func() core.Options { o := benchOpts(); o.DisableGranularity = true; return o }()},
+		{"no families (step 9)", func() core.Options { o := benchOpts(); o.DisableFamilies = true; return o }()},
 	}
 	fmt.Printf("\nAblation A: pipeline components (multi-section engines)\n")
 	fmt.Printf("%-26s %8s %8s %8s %8s\n", "variant", "R-Perf%", "R-Tot%", "P-Perf%", "P-Tot%")
@@ -282,8 +312,8 @@ func printAblations(bed []*synth.Engine) {
 			name string
 			opt  core.Options
 		}{
-			{"families-on", core.DefaultOptions()},
-			{"families-off", func() core.Options { o := core.DefaultOptions(); o.DisableFamilies = true; return o }()},
+			{"families-on", benchOpts()},
+			{"families-off", func() core.Options { o := benchOpts(); o.DisableFamilies = true; return o }()},
 		} {
 			opt := v.opt
 			res := eval.Run(hidden, eval.RunConfig{
@@ -299,7 +329,7 @@ func printAblations(bed []*synth.Engine) {
 	fmt.Printf("\nAblation C: W parameter sweep (paper uses W=1.8; multi-section engines)\n")
 	fmt.Printf("%-8s %8s %8s\n", "W", "R-Tot%", "P-Tot%")
 	for _, wv := range []float64{1.0, 1.4, 1.8, 2.2, 3.0} {
-		opt := core.DefaultOptions()
+		opt := benchOpts()
 		opt.Refine.W = wv
 		opt.Granularity.W = wv
 		res := eval.Run(bed, eval.RunConfig{
@@ -315,7 +345,7 @@ func printAblations(bed []*synth.Engine) {
 	for _, n := range []int{2, 3, 4, 5} {
 		res := eval.Run(bed, eval.RunConfig{
 			SampleCount: n, PageCount: 10,
-			NewExtractor: func() eval.Extractor { return eval.NewMSE(core.DefaultOptions()) },
+			NewExtractor: func() eval.Extractor { return eval.NewMSE(benchOpts()) },
 		})
 		tt := res.Total()
 		fmt.Printf("%-8d %8.1f %8.1f\n", n, 100*tt.RecallTotal(), 100*tt.PrecisionTotal())
@@ -328,7 +358,7 @@ func printBaselines(bed []*synth.Engine) {
 		name  string
 		newEx func() eval.Extractor
 	}{
-		{"MSE", func() eval.Extractor { return eval.NewMSE(core.DefaultOptions()) }},
+		{"MSE", func() eval.Extractor { return eval.NewMSE(benchOpts()) }},
 		{"MDR-style", func() eval.Extractor { return baseline.NewMDR() }},
 		{"ViNTs-single", func() eval.Extractor { return baseline.NewSingleSection() }},
 	}

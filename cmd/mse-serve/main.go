@@ -43,11 +43,14 @@ func main() {
 	withPprof := flag.Bool("pprof", false, "expose /debug/pprof/ and /debug/vars")
 	quiet := flag.Bool("quiet", false, "disable the per-request access log")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	parallelism := flag.Int("parallelism", 0, "pipeline worker count per extraction (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	reg := serve.NewRegistry(core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Parallelism = *parallelism
+	reg := serve.NewRegistry(opts)
 	if !*quiet {
 		reg.SetAccessLog(logger)
 	}

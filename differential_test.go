@@ -1,0 +1,121 @@
+package mse
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"mse/internal/core"
+	"mse/internal/editdist"
+	"mse/internal/synth"
+)
+
+// TestDifferentialCacheAndParallelism is the end-to-end soundness check for
+// this PR's performance work: for every engine of a small synthetic test
+// bed, the pipeline run with tree-distance memoization on and the
+// data-parallel stages fanned out over four workers must produce
+// byte-identical wrappers and byte-identical extractions to the serial,
+// uncached reference path.  Any fingerprint collision, cache corruption or
+// scheduling-dependent arithmetic shows up as a diff here.
+func TestDifferentialCacheAndParallelism(t *testing.T) {
+	wasEnabled := editdist.CacheEnabled()
+	defer editdist.SetCacheEnabled(wasEnabled)
+
+	bed := synth.GenerateTestbed(synth.Config{Seed: 2006, Engines: 8, MultiSection: 4, Queries: 10})
+	for ei, e := range bed {
+		var samples []*core.SamplePage
+		for q := 0; q < 5; q++ {
+			gp := e.Page(q)
+			samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+		}
+		run := func(cached bool, workers int) (wrapperJSON []byte, extractions [][]byte) {
+			editdist.SetCacheEnabled(cached)
+			opt := core.DefaultOptions()
+			opt.Parallelism = workers
+			ew, err := core.BuildWrapper(samples, opt)
+			if err != nil {
+				t.Fatalf("engine %d (cached=%v workers=%d): %v", ei, cached, workers, err)
+			}
+			wj, err := json.Marshal(ew)
+			if err != nil {
+				t.Fatalf("engine %d: marshal wrapper: %v", ei, err)
+			}
+			for q := 5; q < 10; q++ {
+				gp := e.Page(q)
+				sj, err := json.Marshal(ew.Extract(gp.HTML, gp.Query))
+				if err != nil {
+					t.Fatalf("engine %d page %d: marshal sections: %v", ei, q, err)
+				}
+				extractions = append(extractions, sj)
+			}
+			return wj, extractions
+		}
+
+		refWrapper, refPages := run(false, 1) // serial, uncached reference
+		for _, variant := range []struct {
+			name    string
+			cached  bool
+			workers int
+		}{
+			{"cached-serial", true, 1},
+			{"cached-parallel", true, 4},
+		} {
+			gotWrapper, gotPages := run(variant.cached, variant.workers)
+			if !bytes.Equal(gotWrapper, refWrapper) {
+				t.Errorf("engine %d: %s wrapper differs from reference\nref: %s\ngot: %s",
+					ei, variant.name, truncate(refWrapper), truncate(gotWrapper))
+			}
+			for pi := range refPages {
+				if !bytes.Equal(gotPages[pi], refPages[pi]) {
+					t.Errorf("engine %d page %d: %s extraction differs from reference\nref: %s\ngot: %s",
+						ei, pi, variant.name, truncate(refPages[pi]), truncate(gotPages[pi]))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialCacheHitRepeatability re-runs one engine's pipeline with a
+// warm cache: answers served from resident entries must reproduce the
+// first (cache-filling) run exactly.
+func TestDifferentialCacheHitRepeatability(t *testing.T) {
+	wasEnabled := editdist.CacheEnabled()
+	defer editdist.SetCacheEnabled(wasEnabled)
+	editdist.SetCacheEnabled(true)
+	editdist.ResetCache()
+
+	e := synth.NewEngine(2006, 1, true)
+	var samples []*core.SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	var first []byte
+	for i := 0; i < 3; i++ {
+		ew, err := core.BuildWrapper(samples, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wj, err := json.Marshal(ew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = wj
+		} else if !bytes.Equal(wj, first) {
+			t.Fatalf("run %d differs from the cache-filling run", i)
+		}
+	}
+	if s := editdist.Stats(); s.Hits+s.Identical == 0 {
+		t.Fatalf("warm runs never hit the cache: %+v", s)
+	}
+}
+
+func truncate(b []byte) string {
+	const max = 400
+	if len(b) <= max {
+		return string(b)
+	}
+	return fmt.Sprintf("%s... (%d bytes)", b[:max], len(b))
+}

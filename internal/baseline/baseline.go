@@ -66,7 +66,7 @@ func (m *MDR) mineNode(page *layout.Page, n *dom.Node, out *[]*core.Section) {
 	for i < len(kids) {
 		j := i
 		for j+1 < len(kids) &&
-			editdist.TreeDist(kids[j], kids[j+1]) <= m.SimilarityThreshold {
+			editdist.WithinTreeDist(kids[j], kids[j+1], m.SimilarityThreshold) {
 			j++
 		}
 		if j-i+1 >= m.MinRecords {

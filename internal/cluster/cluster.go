@@ -21,6 +21,7 @@ import (
 	"mse/internal/editdist"
 	"mse/internal/layout"
 	"mse/internal/match"
+	"mse/internal/par"
 	"mse/internal/sect"
 )
 
@@ -33,6 +34,10 @@ type Options struct {
 	PathWeight   float64
 	SBMWeight    float64
 	ForestWeight float64
+	// Parallelism is the number of workers computing the pairwise score
+	// matrix; 0 means GOMAXPROCS.  Scores land in an index-addressed
+	// matrix, so the grouping result is identical at any setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the tuned defaults.
@@ -89,11 +94,35 @@ func GroupInstances(pages []*PageSections, opt Options) []*Group {
 		pageIDs = append(pageIDs, pi)
 	}
 	sort.Ints(pageIDs)
+	// Precompute the cross-page score matrix: each symmetric instance pair
+	// is scored exactly once (stable marriage re-reads scores many times
+	// while building preference lists and running proposals), fanned out
+	// over a worker pool.  Entries are written by pair index, so the matrix
+	// — and everything downstream — is identical at any parallelism.
+	n := len(instances)
+	type pairIdx struct{ a, b int }
+	var pairs []pairIdx
+	for a := 0; a < len(pageIDs); a++ {
+		for b := a + 1; b < len(pageIDs); b++ {
+			for _, i := range byPage[pageIDs[a]] {
+				for _, j := range byPage[pageIDs[b]] {
+					pairs = append(pairs, pairIdx{i, j})
+				}
+			}
+		}
+	}
+	scores := make([]float64, n*n)
+	par.ForEachIndex(len(pairs), par.Workers(opt.Parallelism), func(k int) {
+		p := pairs[k]
+		s := Score(instances[p.a], instances[p.b], opt)
+		scores[p.a*n+p.b] = s
+		scores[p.b*n+p.a] = s
+	})
 	for a := 0; a < len(pageIDs); a++ {
 		for b := a + 1; b < len(pageIDs); b++ {
 			ia, ib := byPage[pageIDs[a]], byPage[pageIDs[b]]
 			res := match.StableMarriage(len(ia), len(ib), func(i, j int) float64 {
-				return Score(instances[ia[i]], instances[ib[j]], opt)
+				return scores[ia[i]*n+ib[j]]
 			}, opt.MatchThreshold)
 			for i, j := range res {
 				if j >= 0 {
@@ -153,6 +182,16 @@ func NewInstance(pi int, ps *PageSections, s *sect.Section) *Instance {
 		inst.recForest = s.Records[0].Forest()
 	} else {
 		inst.recForest = ps.Page.Forest(s.Start, s.End)
+	}
+	// Warm the structural fingerprints of the record forest so every later
+	// comparison — including ones racing on a worker pool — finds them
+	// cached on the nodes.
+	if editdist.CacheEnabled() {
+		for _, t := range inst.recForest {
+			if t != nil {
+				t.Fingerprint()
+			}
+		}
 	}
 	return inst
 }

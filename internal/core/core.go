@@ -27,6 +27,7 @@ import (
 	"mse/internal/mining"
 	"mse/internal/mre"
 	"mse/internal/obs"
+	"mse/internal/par"
 	"mse/internal/refine"
 	"mse/internal/sect"
 	"mse/internal/wrapper"
@@ -55,6 +56,12 @@ type Options struct {
 	DisableGranularity bool
 	// DisableFamilies skips step 9 (ablation).
 	DisableFamilies bool
+	// Parallelism is the worker count for the data-parallel stages: the
+	// per-page loops of steps 1-2 and 4-6, and (unless Cluster.Parallelism
+	// overrides it) the pairwise score matrix of step 7.  0 means
+	// GOMAXPROCS; 1 forces the serial path.  Results are written into
+	// index-addressed slices, so output is identical at any setting.
+	Parallelism int
 	// Obs, when non-nil, receives one trace per BuildWrapper /
 	// AnalyzePages / Extract call: a root span with one child span per
 	// pipeline step plus stage counters (pages, sections, records,
@@ -115,6 +122,7 @@ func BuildWrapper(samples []*SamplePage, opt Options) (*EngineWrapper, error) {
 	}
 	root.Count("pages", int64(len(samples)))
 	edCalls := editdist.TreeCalls()
+	cs0 := editdist.Stats()
 
 	// Steps 1-6 per page (DSE works across pages).
 	pageSections, err := analyzePages(samples, opt, root)
@@ -122,9 +130,13 @@ func BuildWrapper(samples []*SamplePage, opt Options) (*EngineWrapper, error) {
 		return nil, err
 	}
 	// Step 7: group section instances into schema clusters.
+	clOpt := opt.Cluster
+	if clOpt.Parallelism == 0 {
+		clOpt.Parallelism = opt.Parallelism
+	}
 	clusterSp := root.Child(obs.StepCluster)
 	t0 := clusterSp.Begin()
-	groups := cluster.GroupInstances(pageSections, opt.Cluster)
+	groups := cluster.GroupInstances(pageSections, clOpt)
 	clusterSp.AddSince(t0)
 	// Step 8: one wrapper per group, ordered by document position.
 	wrapSp := root.Child(obs.StepWrapper)
@@ -146,6 +158,14 @@ func BuildWrapper(samples []*SamplePage, opt Options) (*EngineWrapper, error) {
 		famSp.AddSince(t0)
 	}
 	root.Count("tree_dist_calls", editdist.TreeCalls()-edCalls)
+	root.Count("parallel_workers", int64(par.Workers(opt.Parallelism)))
+	if cs := editdist.Stats().Sub(cs0); editdist.CacheEnabled() {
+		root.Count("tree_cache_lookups", cs.Lookups)
+		root.Count("tree_cache_hits", cs.Hits)
+		root.Count("tree_cache_identical", cs.Identical)
+		root.Count("tree_cache_early_exits", cs.EarlyExits)
+		root.Count("tree_cache_evictions", cs.Evictions)
+	}
 	return &EngineWrapper{Wrappers: ws, Families: fams, opt: opt}, nil
 }
 
@@ -161,12 +181,18 @@ func AnalyzePages(samples []*SamplePage, opt Options) ([]*cluster.PageSections, 
 
 // analyzePages is AnalyzePages recording its step spans under parent
 // (nil for none).  Step spans accumulate across the per-page loops, so
-// each step yields exactly one span regardless of sample count.
+// each step yields exactly one span regardless of sample count; under
+// parallelism the accumulated step durations sum worker time, not wall
+// time.  The per-page stages (1-2 and 4-6) fan out over a worker pool —
+// pages are independent there — while DSE (step 3) is inherently
+// cross-page and stays serial.
 func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span) ([]*cluster.PageSections, error) {
+	workers := par.Workers(opt.Parallelism)
 	renderSp := parent.Child(obs.StepRender)
 	mreSp := parent.Child(obs.StepMRE)
 	inputs := make([]*dse.PageInput, len(samples))
-	for i, sp := range samples {
+	par.ForEachIndex(len(samples), workers, func(i int) {
+		sp := samples[i]
 		t0 := renderSp.Begin()
 		page := layout.Render(htmlparse.Parse(sp.HTML)) // step 1
 		renderSp.AddSince(t0)
@@ -174,7 +200,7 @@ func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span) ([]*clus
 		mrs := mre.Extract(page, opt.MRE) // step 2
 		mreSp.AddSince(t0)
 		inputs[i] = &dse.PageInput{Page: page, Query: sp.Query, MRs: mrs}
-	}
+	})
 	dseSp := parent.Child(obs.StepDSE)
 	t0 := dseSp.Begin()
 	dss, marks := dse.Run(inputs, opt.DSE) // step 3
@@ -183,19 +209,19 @@ func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span) ([]*clus
 	refineSp := parent.Child(obs.StepRefine)
 	miningSp := parent.Child(obs.StepMining)
 	granSp := parent.Child(obs.StepGranularity)
-	sectionCount, recordCount := int64(0), int64(0)
 	out := make([]*cluster.PageSections, len(samples))
-	for i, in := range inputs {
+	par.ForEachIndex(len(inputs), workers, func(i int) {
+		in := inputs[i]
 		var sections []*sect.Section
 		if opt.DisableRefine {
 			// Ablation: take DSs as sections and mine all of them.
 			sections = dss[i]
 		} else {
-			t0 = refineSp.Begin()
+			t0 := refineSp.Begin()
 			sections = refine.Refine(in.Page, in.MRs, dss[i], marks[i], opt.Refine) // step 4
 			refineSp.AddSince(t0)
 		}
-		t0 = miningSp.Begin()
+		t0 := miningSp.Begin()
 		for _, s := range sections { // step 5
 			if len(s.Records) == 0 {
 				mining.Mine(s, opt.Mining)
@@ -207,10 +233,15 @@ func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span) ([]*clus
 			sections = granularity.Resolve(in.Page, sections, opt.Granularity) // step 6
 			granSp.AddSince(t0)
 		}
-		sections = dropEmpty(sections)
 		out[i] = &cluster.PageSections{Page: in.Page, Query: in.Query, Sections: sections}
-		sectionCount += int64(len(sections))
-		for _, s := range sections {
+	})
+	// Counters sum after the fan-out, in page order, so the totals are
+	// deterministic regardless of worker scheduling.
+	sectionCount, recordCount := int64(0), int64(0)
+	for i := range out {
+		out[i].Sections = dropEmpty(out[i].Sections)
+		sectionCount += int64(len(out[i].Sections))
+		for _, s := range out[i].Sections {
 			recordCount += int64(len(s.Records))
 		}
 	}

@@ -1,0 +1,88 @@
+package dom
+
+// Structural fingerprinting of tag trees.
+//
+// A Fingerprint summarizes the subtree rooted at a node: an order-sensitive
+// 64-bit hash of the labeled tree shape plus the subtree size.  Two
+// structurally identical ordered labeled trees always produce the same
+// fingerprint, so fingerprint pairs can key a tree-edit-distance cache and
+// fingerprint equality can short-circuit the distance to zero.  The
+// converse direction relies on the hash being collision-free in practice;
+// see DESIGN.md ("Tree-distance memoization") for the collision analysis.
+//
+// Fingerprints are computed bottom-up in one pass and cached on every node
+// of the subtree, so repeated distance computations over the same trees —
+// the MSE pipeline's dominant cost — never re-walk them.  The cache slot is
+// an atomic pointer: concurrent readers may race to compute a fingerprint,
+// but both compute identical values, so whichever Store wins is correct.
+// AppendChild and RemoveChild invalidate the cached fingerprints of the
+// mutated node and its ancestors (a descendant's own subtree is unchanged
+// by re-parenting, so its cached value stays valid).
+
+// Fingerprint identifies the structure of a subtree: Hash is an
+// order-sensitive hash of the labeled tree shape, Size the number of nodes.
+// The zero Fingerprint is never produced for a live node (Size >= 1).
+type Fingerprint struct {
+	Hash uint64 `json:"hash"`
+	Size int    `json:"size"`
+}
+
+// fnv64Offset and fnv64Prime are the FNV-1a parameters used for label
+// hashing.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// Fingerprint returns the structural fingerprint of the subtree rooted at
+// n, computing and caching it (for n and every descendant) on first use.
+func (n *Node) Fingerprint() Fingerprint {
+	if fp := n.fp.Load(); fp != nil {
+		return *fp
+	}
+	return n.computeFingerprint()
+}
+
+func (n *Node) computeFingerprint() Fingerprint {
+	h := fnv64Offset
+	for i := 0; i < len(n.Tag); i++ {
+		h = (h ^ uint64(n.Tag[i])) * fnv64Prime
+	}
+	// Mixing the node type keeps same-tag elements distinct from text or
+	// comment nodes; text content is deliberately excluded, matching the
+	// structural label used by the tree edit distance.
+	h = (h ^ uint64(n.Type)) * fnv64Prime
+	size := 1
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		cf := c.Fingerprint()
+		size += cf.Size
+		h = mix64(h ^ cf.Hash)
+	}
+	fp := Fingerprint{Hash: h, Size: size}
+	n.fp.Store(&fp)
+	return fp
+}
+
+// mix64 is the splitmix64 finalizer: a cheap avalanche so that child order
+// and nesting depth always perturb the parent hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// invalidateFingerprints clears the cached fingerprints of n and its
+// ancestors after a structural mutation.  Fingerprints are computed
+// top-down-complete (a cached ancestor implies cached descendants), so the
+// walk can stop at the first node that never had one.
+func (n *Node) invalidateFingerprints() {
+	for p := n; p != nil; p = p.Parent {
+		if p.fp.Load() == nil {
+			return
+		}
+		p.fp.Store(nil)
+	}
+}

@@ -1,0 +1,124 @@
+package dom
+
+import "testing"
+
+// mkTree builds a small element tree from a nested spec: tag plus children.
+type spec struct {
+	tag  string
+	kids []spec
+}
+
+func (s spec) build() *Node {
+	n := &Node{Type: ElementNode, Tag: s.tag}
+	for _, k := range s.kids {
+		n.AppendChild(k.build())
+	}
+	return n
+}
+
+func TestFingerprintEqualStructure(t *testing.T) {
+	s := spec{"div", []spec{{"a", nil}, {"span", []spec{{"b", nil}}}}}
+	t1, t2 := s.build(), s.build()
+	if t1.Fingerprint() != t2.Fingerprint() {
+		t.Fatalf("identical structures disagree: %+v vs %+v", t1.Fingerprint(), t2.Fingerprint())
+	}
+	if got, want := t1.Fingerprint().Size, t1.Size(); got != want {
+		t.Fatalf("fingerprint size = %d, Size() = %d", got, want)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := spec{"div", []spec{{"a", nil}, {"span", nil}}}
+	cases := []spec{
+		{"p", []spec{{"a", nil}, {"span", nil}}},                  // different root tag
+		{"div", []spec{{"span", nil}, {"a", nil}}},                // different child order
+		{"div", []spec{{"a", nil}}},                               // missing child
+		{"div", []spec{{"a", nil}, {"span", []spec{{"b", nil}}}}}, // extra depth
+	}
+	bf := base.build().Fingerprint()
+	for i, c := range cases {
+		if c.build().Fingerprint() == bf {
+			t.Errorf("case %d: fingerprint collides with base", i)
+		}
+	}
+}
+
+func TestFingerprintTextNodesShareLabel(t *testing.T) {
+	// Tree distance treats all text nodes as one label, and so must the
+	// fingerprint: same structure with different text contents hashes equal.
+	mk := func(s string) *Node {
+		p := &Node{Type: ElementNode, Tag: "p"}
+		p.AppendChild(&Node{Type: TextNode, Data: s})
+		return p
+	}
+	if mk("hello").Fingerprint() != mk("world").Fingerprint() {
+		t.Fatal("text content leaked into the structural fingerprint")
+	}
+}
+
+func TestFingerprintInvalidation(t *testing.T) {
+	root := spec{"div", []spec{{"a", nil}}}.build()
+	before := root.Fingerprint()
+
+	// AppendChild must invalidate the cached fingerprints up the chain.
+	extra := &Node{Type: ElementNode, Tag: "span"}
+	root.AppendChild(extra)
+	after := root.Fingerprint()
+	if after == before {
+		t.Fatal("fingerprint unchanged after AppendChild")
+	}
+	if after.Size != before.Size+1 {
+		t.Fatalf("size = %d after append, want %d", after.Size, before.Size+1)
+	}
+
+	// RemoveChild must restore the original fingerprint.
+	root.RemoveChild(extra)
+	if got := root.Fingerprint(); got != before {
+		t.Fatalf("fingerprint not restored after RemoveChild: %+v vs %+v", got, before)
+	}
+}
+
+func TestFingerprintDeepInvalidation(t *testing.T) {
+	// Mutating a grandchild must invalidate every ancestor's cache.
+	root := spec{"div", []spec{{"ul", []spec{{"li", nil}}}}}.build()
+	before := root.Fingerprint()
+	li := root.FirstChild.FirstChild
+	li.AppendChild(&Node{Type: ElementNode, Tag: "a"})
+	if root.Fingerprint() == before {
+		t.Fatal("ancestor fingerprint stale after grandchild mutation")
+	}
+}
+
+func TestFingerprintCloneIndependent(t *testing.T) {
+	orig := spec{"div", []spec{{"a", nil}}}.build()
+	fp := orig.Fingerprint()
+	cl := orig.Clone()
+	if cl.Fingerprint() != fp {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	cl.AppendChild(&Node{Type: ElementNode, Tag: "b"})
+	if orig.Fingerprint() != fp {
+		t.Fatal("mutating the clone changed the original's fingerprint")
+	}
+}
+
+func TestFingerprintConcurrent(t *testing.T) {
+	// Concurrent first computations must agree (exercised under -race).
+	root := spec{"table", []spec{
+		{"tr", []spec{{"td", nil}, {"td", nil}}},
+		{"tr", []spec{{"td", nil}, {"td", nil}}},
+	}}.build()
+	want := spec{"table", []spec{
+		{"tr", []spec{{"td", nil}, {"td", nil}}},
+		{"tr", []spec{{"td", nil}, {"td", nil}}},
+	}}.build().Fingerprint()
+	done := make(chan Fingerprint, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- root.Fingerprint() }()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent fingerprint %+v, want %+v", got, want)
+		}
+	}
+}

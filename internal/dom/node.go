@@ -14,6 +14,7 @@ package dom
 
 import (
 	"strings"
+	"sync/atomic"
 )
 
 // NodeType discriminates the kinds of nodes in a DOM tree.
@@ -70,6 +71,10 @@ type Node struct {
 	LastChild   *Node
 	PrevSibling *Node
 	NextSibling *Node
+
+	// fp caches the structural fingerprint of the subtree rooted here; see
+	// fingerprint.go.  Atomic so concurrent lazy computation is race-free.
+	fp atomic.Pointer[Fingerprint]
 }
 
 // Label returns the label used when comparing nodes structurally: the tag
@@ -100,6 +105,7 @@ func (n *Node) AppendChild(c *Node) {
 		panic("dom: AppendChild called with attached child")
 	}
 	c.Parent = n
+	n.invalidateFingerprints()
 	if n.LastChild == nil {
 		n.FirstChild = c
 		n.LastChild = c
@@ -128,6 +134,7 @@ func (n *Node) RemoveChild(c *Node) {
 	c.Parent = nil
 	c.PrevSibling = nil
 	c.NextSibling = nil
+	n.invalidateFingerprints()
 }
 
 // Children returns the direct children of n as a slice, in document order.

@@ -307,6 +307,11 @@ func LocateCompact(root *Node, target CompactPath) *Node {
 // document order).  Callers that can validate candidates by other evidence
 // (boundary markers) should walk the list and take the first that
 // validates.
+//
+// The compact path is maintained incrementally during one DFS — pushing a
+// C step when descending, counting S steps across siblings — instead of
+// recomputing PathOf(n).Compact() per node, which made wrapper application
+// quadratic in tree depth and dominated its allocation profile.
 func LocateCompactAll(root *Node, target CompactPath) []*Node {
 	type cand struct {
 		n    *Node
@@ -314,16 +319,95 @@ func LocateCompactAll(root *Node, target CompactPath) []*Node {
 		docN int
 	}
 	var cands []cand
-	i := 0
-	root.Walk(func(n *Node) bool {
-		i++
-		cp := PathOf(n).Compact()
-		if !cp.Compatible(target) {
-			return true
+	// stack holds the C steps of the path to the node being visited;
+	// okDepth is the length of the longest stack prefix whose tags match
+	// target, so compatibility at any node is an O(1) check.  Paths are
+	// absolute (from the tree root), so when root is an interior node the
+	// stack starts from root's own path, exactly as PathOf produced.
+	stack := make([]CStep, 0, 32)
+	rootS := 0
+	for _, pn := range PathOf(root) {
+		switch pn.Dir {
+		case Sibling:
+			rootS++
+		case Child:
+			stack = append(stack, CStep{Tag: pn.Tag, SBefore: rootS})
+			rootS = 0
 		}
-		cands = append(cands, cand{n: n, d: PathDistance(cp, target), docN: i})
-		return true
-	})
+	}
+	okDepth := 0
+	for okDepth < len(stack) && okDepth < len(target) && target[okDepth].Tag == stack[okDepth].Tag {
+		okDepth++
+	}
+	docN := 0
+
+	// distanceTo computes PathDistance(current path, target) knowing the
+	// paths are compatible: stack plus an optional trailing synthetic
+	// {"", s} entry against target, with identical integer arithmetic.
+	distanceTo := func(s int) float64 {
+		sum, ta, tb := 0, 0, 0
+		for i, st := range stack {
+			d := st.SBefore - target[i].SBefore
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			ta += st.SBefore
+			tb += target[i].SBefore
+		}
+		if s > 0 {
+			d := s - target[len(stack)].SBefore
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			ta += s
+			tb += target[len(stack)].SBefore
+		}
+		maxTotal := ta
+		if tb > maxTotal {
+			maxTotal = tb
+		}
+		if maxTotal == 0 {
+			return 0
+		}
+		return float64(sum) / float64(maxTotal)
+	}
+
+	var visit func(n *Node, s int)
+	visit = func(n *Node, s int) {
+		docN++
+		// A node's compact path is the stacked C steps plus, when S steps
+		// trail the last C step, the synthetic {"", s} entry Compact emits.
+		if okDepth == len(stack) {
+			if s == 0 {
+				if len(target) == len(stack) {
+					cands = append(cands, cand{n: n, d: distanceTo(0), docN: docN})
+				}
+			} else if len(target) == len(stack)+1 && target[len(stack)].Tag == "" {
+				cands = append(cands, cand{n: n, d: distanceTo(s), docN: docN})
+			}
+		}
+		if n.FirstChild == nil {
+			return
+		}
+		tag := n.Label()
+		stack = append(stack, CStep{Tag: tag, SBefore: s})
+		if okDepth == len(stack)-1 && okDepth < len(target) && target[okDepth].Tag == tag {
+			okDepth++
+		}
+		cs := 0
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			visit(c, cs)
+			cs++
+		}
+		stack = stack[:len(stack)-1]
+		if okDepth > len(stack) {
+			okDepth = len(stack)
+		}
+	}
+	visit(root, 0)
+
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].d != cands[b].d {
 			return cands[a].d < cands[b].d

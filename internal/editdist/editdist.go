@@ -8,6 +8,7 @@
 package editdist
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"mse/internal/dom"
@@ -48,11 +49,21 @@ func UnitCosts(eq func(i, j int) bool) Costs {
 	}
 }
 
+// stringsScratch pools the two DP rows of Strings.  The function sits on
+// the hot path of every pairwise visual distance (type codes, shapes, text
+// attributes), where per-call row allocations dominated the GC load.
+var stringsScratch = sync.Pool{New: func() any { return new([]float64) }}
+
 // Strings computes the edit distance between two abstract sequences of
 // lengths n and m under the given cost model.
 func Strings(n, m int, c Costs) float64 {
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	sp := stringsScratch.Get().(*[]float64)
+	buf := *sp
+	if cap(buf) < 2*(m+1) {
+		buf = make([]float64, 2*(m+1))
+	}
+	buf = buf[:2*(m+1)]
+	prev, cur := buf[:m+1:m+1], buf[m+1:]
 	prev[0] = 0
 	for j := 1; j <= m; j++ {
 		prev[j] = prev[j-1] + c.Ins(j-1)
@@ -71,7 +82,10 @@ func Strings(n, m int, c Costs) float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev[m]
+	d := prev[m]
+	*sp = buf
+	stringsScratch.Put(sp)
+	return d
 }
 
 // StringDistance is the Levenshtein distance between two strings, counted
@@ -220,6 +234,11 @@ func TreeEditDistance(t1, t2 *dom.Node) int {
 // TreeDist is the tree edit distance normalized by the size of the larger
 // tree, per Section 4.1 (Dtf over trees).  It lies in [0, 1] for unit
 // costs.  Two nil trees have distance 0; one nil tree has distance 1.
+//
+// Distances are memoized process-wide by structural fingerprint pair (see
+// cache.go): identical fingerprints return 0 immediately, leaf pairs are
+// answered by label comparison, and every dynamic-program result is cached
+// so structurally repeated subtrees are never re-measured.
 func TreeDist(t1, t2 *dom.Node) float64 {
 	if t1 == nil && t2 == nil {
 		return 0
@@ -227,14 +246,41 @@ func TreeDist(t1, t2 *dom.Node) float64 {
 	if t1 == nil || t2 == nil {
 		return 1
 	}
-	maxSize := t1.Size()
-	if s := t2.Size(); s > maxSize {
-		maxSize = s
+	if !cacheEnabled.Load() {
+		maxSize := t1.Size()
+		if s := t2.Size(); s > maxSize {
+			maxSize = s
+		}
+		if maxSize == 0 {
+			return 0
+		}
+		return float64(TreeEditDistance(t1, t2)) / float64(maxSize)
 	}
-	if maxSize == 0 {
+	f1, f2 := t1.Fingerprint(), t2.Fingerprint()
+	cache.lookups.Add(1)
+	if f1 == f2 {
+		cache.identical.Add(1)
 		return 0
 	}
-	return float64(TreeEditDistance(t1, t2)) / float64(maxSize)
+	maxSize := f1.Size
+	if f2.Size > maxSize {
+		maxSize = f2.Size
+	}
+	if f1.Size == 1 && f2.Size == 1 {
+		// Two single-node trees with different fingerprints: the labels
+		// differ (equal labels hash equal), so the distance is one relabel.
+		cache.earlyExits.Add(1)
+		return 1
+	}
+	k := makeKey(f1, f2)
+	if v, ok := cache.get(k); ok {
+		cache.hits.Add(1)
+		return v
+	}
+	cache.misses.Add(1)
+	v := float64(TreeEditDistance(t1, t2)) / float64(maxSize)
+	cache.put(k, v)
+	return v
 }
 
 // ForestDist is the tag-forest distance of Section 4.1: the string edit

@@ -21,6 +21,7 @@ package layout
 
 import (
 	"strings"
+	"sync"
 
 	"mse/internal/dom"
 )
@@ -143,6 +144,14 @@ type Page struct {
 	// span maps each DOM node that contains at least one rendered leaf to
 	// the [first, last] line indices it covers.
 	span map[*dom.Node][2]int
+
+	// forests memoizes Forest results by line range: record and section
+	// comparisons query the same ranges over and over (every pairwise
+	// record distance re-derives both forests), and the DOM is immutable
+	// once rendered, so the walk only ever needs to happen once per range.
+	// Guarded by fmu; callers treat the returned slice as read-only.
+	fmu     sync.Mutex
+	forests map[[2]int][]*dom.Node
 }
 
 // Span returns the inclusive [first, last] line range covered by n and
@@ -160,6 +169,24 @@ func (p *Page) Forest(start, end int) []*dom.Node {
 	if start >= end {
 		return nil
 	}
+	key := [2]int{start, end}
+	p.fmu.Lock()
+	out, ok := p.forests[key]
+	p.fmu.Unlock()
+	if ok {
+		return out
+	}
+	out = p.computeForest(start, end)
+	p.fmu.Lock()
+	if p.forests == nil {
+		p.forests = make(map[[2]int][]*dom.Node)
+	}
+	p.forests[key] = out
+	p.fmu.Unlock()
+	return out
+}
+
+func (p *Page) computeForest(start, end int) []*dom.Node {
 	var out []*dom.Node
 	p.Doc.Walk(func(n *dom.Node) bool {
 		s, ok := p.span[n]

@@ -1,0 +1,58 @@
+// Package par provides the minimal worker-pool primitive the pipeline uses
+// for its data-parallel loops: per-sample-page analysis in core and the
+// pairwise instance score matrix in cluster.  Work is handed out by an
+// atomic index counter, so goroutines stay busy regardless of how uneven
+// the per-item cost is; callers write results into index-addressed storage,
+// which keeps output independent of scheduling order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism option value: n <= 0 selects GOMAXPROCS,
+// anything else is used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEachIndex invokes fn(i) for every i in [0, n), spreading the indices
+// over at most workers goroutines.  With workers <= 1 (or a single item) it
+// degenerates to a plain loop on the caller's goroutine, so the serial and
+// parallel paths execute the same fn calls in the same per-index order.
+// fn must be safe for concurrent invocation on distinct indices.
+func ForEachIndex(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

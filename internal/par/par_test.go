@@ -1,0 +1,48 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachIndexCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		for _, n := range []int{0, 1, 2, 5, 97} {
+			var hits = make([]atomic.Int32, n)
+			ForEachIndex(n, workers, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachIndexSerialOrder(t *testing.T) {
+	// A single worker must run on the caller's goroutine in index order —
+	// the property that makes Parallelism=1 the exact reference path.
+	var order []int
+	ForEachIndex(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("visited %d indices, want 5", len(order))
+	}
+}

@@ -3,10 +3,12 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"mse/internal/editdist"
 	"mse/internal/obs"
 )
 
@@ -79,8 +81,25 @@ func (m *Metrics) engine(name string) *engineMetrics {
 
 // metricsResponse is the wire form of GET /metrics.
 type metricsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Metrics       obs.Snapshot `json:"metrics"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Metrics       obs.Snapshot   `json:"metrics"`
+	TreeCache     *treeCacheJSON `json:"tree_cache,omitempty"`
+}
+
+// treeCacheJSON reports the process-wide tree-distance memoization cache.
+type treeCacheJSON struct {
+	Enabled bool    `json:"enabled"`
+	HitRate float64 `json:"hit_rate"`
+	editdist.CacheStats
+}
+
+func treeCacheSnapshot() *treeCacheJSON {
+	s := editdist.Stats()
+	return &treeCacheJSON{
+		Enabled:    editdist.CacheEnabled(),
+		HitRate:    s.HitRate(),
+		CacheStats: s,
+	}
 }
 
 // snapshot returns the /metrics payload.
@@ -88,16 +107,28 @@ func (m *Metrics) snapshot() metricsResponse {
 	return metricsResponse{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Metrics:       m.reg.Snapshot(),
+		TreeCache:     treeCacheSnapshot(),
 	}
 }
 
 // writeStatusz renders the human-readable status page: uptime, in-flight
-// count and a per-engine table of request counts and latency quantiles.
-func (m *Metrics) writeStatusz(w io.Writer, engineNames []string) {
+// count, pipeline parallelism, the tree-distance cache counters and a
+// per-engine table of request counts and latency quantiles.  parallelism
+// is the configured Options.Parallelism (0 meaning GOMAXPROCS).
+func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism int) {
 	fmt.Fprintf(w, "mse-serve status\n")
 	fmt.Fprintf(w, "uptime:    %s\n", m.Uptime().Round(time.Second))
 	fmt.Fprintf(w, "in-flight: %d\n", m.InFlight())
 	fmt.Fprintf(w, "requests:  %d\n", m.requests.Value())
+	if parallelism <= 0 {
+		fmt.Fprintf(w, "parallelism: GOMAXPROCS (%d)\n", runtime.GOMAXPROCS(0))
+	} else {
+		fmt.Fprintf(w, "parallelism: %d\n", parallelism)
+	}
+	tc := treeCacheSnapshot()
+	fmt.Fprintf(w, "tree-cache: enabled=%v entries=%d lookups=%d identical=%d hits=%d misses=%d early-exits=%d evictions=%d hit-rate=%.1f%%\n",
+		tc.Enabled, tc.Entries, tc.Lookups, tc.Identical, tc.Hits, tc.Misses,
+		tc.EarlyExits, tc.Evictions, 100*tc.HitRate)
 	fmt.Fprintf(w, "engines:   %d\n\n", len(engineNames))
 
 	// Show every loaded engine, including ones never hit, plus any

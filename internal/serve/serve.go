@@ -136,7 +136,7 @@ func (r *Registry) Handler() http.Handler {
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		r.metrics.writeStatusz(w, r.Names())
+		r.metrics.writeStatusz(w, r.Names(), r.opts.Parallelism)
 	})
 	mux.HandleFunc("/extract", r.handleExtract)
 	return r.instrument(mux)

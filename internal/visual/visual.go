@@ -181,7 +181,69 @@ func (b Block) TypeCode() []layout.LineType {
 // BlockTypeDistance (Dbt) is the normalized edit distance between the two
 // blocks' type-code sequences with TypeDistance as substitution cost.
 func BlockTypeDistance(a, b Block) float64 {
-	ta, tb := a.TypeCode(), b.TypeCode()
+	return typeCodeDistance(a.TypeCode(), b.TypeCode())
+}
+
+// BlockShapeDistance (Dbs) is the normalized edit distance between the two
+// blocks' shapes, with substitution cost PositionDistance of the relative
+// offsets.
+func BlockShapeDistance(a, b Block) float64 {
+	return shapeDistance(a.Shape(), b.Shape())
+}
+
+// BlockPositionDistance (Dbp) is the position distance between the two
+// blocks' left edges.
+func BlockPositionDistance(a, b Block) float64 {
+	return PositionDistance(a.MinX(), b.MinX())
+}
+
+// BlockAttrDistance (Dbta) is the string edit distance between the two
+// blocks' per-line attribute sets, with LineAttrDistance as substitution
+// cost, normalized by the longer block.
+func BlockAttrDistance(a, b Block) float64 {
+	return attrSeqDistance(a.Lines(), b.Lines())
+}
+
+// ForestDistance (Dtf) is the tag-forest distance between the blocks'
+// minimal tag forests.
+func ForestDistance(a, b Block) float64 {
+	return editdist.ForestDist(a.Forest(), b.Forest())
+}
+
+// blockFeat is the per-block feature bundle the record distance consumes.
+// The pairwise aggregates below (inter-record distance, average record
+// distance) derive each block's features once instead of once per
+// comparison — TypeCode, Shape and Forest all allocate, and the aggregates
+// are quadratic in the number of records.
+type blockFeat struct {
+	typeCode []layout.LineType
+	shape    []int
+	minX     int
+	lines    []layout.Line
+	forest   []*dom.Node
+}
+
+func featuresOf(b Block) blockFeat {
+	return blockFeat{
+		typeCode: b.TypeCode(),
+		shape:    b.Shape(),
+		minX:     b.MinX(),
+		lines:    b.Lines(),
+		forest:   b.Forest(),
+	}
+}
+
+// recordDistFeat is RecordDistance over precomputed features, combining
+// the five components in the same order (identical float arithmetic).
+func recordDistFeat(a, b *blockFeat, w RecordWeights) float64 {
+	return w.Forest*editdist.ForestDist(a.forest, b.forest) +
+		w.Type*typeCodeDistance(a.typeCode, b.typeCode) +
+		w.Shape*shapeDistance(a.shape, b.shape) +
+		w.Position*PositionDistance(a.minX, b.minX) +
+		w.Attr*attrSeqDistance(a.lines, b.lines)
+}
+
+func typeCodeDistance(ta, tb []layout.LineType) float64 {
 	maxLen := len(ta)
 	if len(tb) > maxLen {
 		maxLen = len(tb)
@@ -197,11 +259,7 @@ func BlockTypeDistance(a, b Block) float64 {
 	return d / float64(maxLen)
 }
 
-// BlockShapeDistance (Dbs) is the normalized edit distance between the two
-// blocks' shapes, with substitution cost PositionDistance of the relative
-// offsets.
-func BlockShapeDistance(a, b Block) float64 {
-	sa, sb := a.Shape(), b.Shape()
+func shapeDistance(sa, sb []int) float64 {
 	maxLen := len(sa)
 	if len(sb) > maxLen {
 		maxLen = len(sb)
@@ -217,17 +275,7 @@ func BlockShapeDistance(a, b Block) float64 {
 	return d / float64(maxLen)
 }
 
-// BlockPositionDistance (Dbp) is the position distance between the two
-// blocks' left edges.
-func BlockPositionDistance(a, b Block) float64 {
-	return PositionDistance(a.MinX(), b.MinX())
-}
-
-// BlockAttrDistance (Dbta) is the string edit distance between the two
-// blocks' per-line attribute sets, with LineAttrDistance as substitution
-// cost, normalized by the longer block.
-func BlockAttrDistance(a, b Block) float64 {
-	la, lb := a.Lines(), b.Lines()
+func attrSeqDistance(la, lb []layout.Line) float64 {
 	maxLen := len(la)
 	if len(lb) > maxLen {
 		maxLen = len(lb)
@@ -243,21 +291,12 @@ func BlockAttrDistance(a, b Block) float64 {
 	return d / float64(maxLen)
 }
 
-// ForestDistance (Dtf) is the tag-forest distance between the blocks'
-// minimal tag forests.
-func ForestDistance(a, b Block) float64 {
-	return editdist.ForestDist(a.Forest(), b.Forest())
-}
-
 // RecordDistance implements Formula 4: the weighted combination of tag
 // forest, block type, block shape, block position and block text-attribute
 // distances between two records.
 func RecordDistance(a, b Block, w RecordWeights) float64 {
-	return w.Forest*ForestDistance(a, b) +
-		w.Type*BlockTypeDistance(a, b) +
-		w.Shape*BlockShapeDistance(a, b) +
-		w.Position*BlockPositionDistance(a, b) +
-		w.Attr*BlockAttrDistance(a, b)
+	fa, fb := featuresOf(a), featuresOf(b)
+	return recordDistFeat(&fa, &fb, w)
 }
 
 // VisualRecordDistance is RecordDistance without the tag-forest component,
@@ -283,11 +322,15 @@ func InterRecordDistance(records []Block, w RecordWeights) float64 {
 	if n < 2 {
 		return 0
 	}
+	feats := make([]blockFeat, n)
+	for i, r := range records {
+		feats[i] = featuresOf(r)
+	}
 	sum := 0.0
 	pairs := 0
 	for i := 0; i < n-1; i++ {
 		for j := i + 1; j < n; j++ {
-			sum += RecordDistance(records[i], records[j], w)
+			sum += recordDistFeat(&feats[i], &feats[j], w)
 			pairs++
 		}
 	}
@@ -300,9 +343,11 @@ func AvgRecordDistance(r Block, records []Block, w RecordWeights) float64 {
 	if len(records) == 0 {
 		return 0
 	}
+	rf := featuresOf(r)
 	sum := 0.0
 	for _, o := range records {
-		sum += RecordDistance(r, o, w)
+		of := featuresOf(o)
+		sum += recordDistFeat(&rf, &of, w)
 	}
 	return sum / float64(len(records))
 }
