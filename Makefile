@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race check bench benchcmp clean
 
 all: build
 
@@ -18,23 +18,33 @@ vet:
 	$(GO) vet ./...
 
 # The concurrency-heavy packages — observability, the service layer, the
-# tree-distance cache, fingerprinting, the worker pool and the parallel
-# pipeline stages — run under the race detector, plus the end-to-end
-# differential test that pins cached/parallel output to the serial
-# uncached reference.
+# tree-distance cache, fingerprinting, the worker pool, the parallel
+# pipeline stages and the pooled parse/render/apply fast path — run under
+# the race detector, plus the end-to-end differential tests that pin the
+# cached/parallel and pooled-arena outputs to their reference paths.
 race:
 	$(GO) test -race ./internal/obs ./internal/serve ./internal/editdist \
-		./internal/dom ./internal/par ./internal/cluster ./internal/core
+		./internal/dom ./internal/par ./internal/cluster ./internal/core \
+		./internal/htmlparse ./internal/layout ./internal/wrapper
 	$(GO) test -race -run 'TestDifferential' .
 
 check: build vet test race
 
 # bench regenerates the paper-table benchmarks with allocation stats and
 # records the raw runs in a dated BENCH_<date>.json for before/after
-# comparisons across PRs.
+# comparisons across PRs.  An existing file for today is never clobbered:
+# later runs get a .2, .3, ... suffix so a baseline captured earlier in
+# the day survives for benchcmp.
 bench:
-	$(GO) test -run NONE -bench 'BenchmarkTable|BenchmarkWrapper|BenchmarkExtractionThroughput' \
-		-benchmem -json . | tee BENCH_$$(date +%Y-%m-%d).json
+	@out=BENCH_$$(date +%Y-%m-%d).json; n=2; \
+	while [ -e $$out ]; do out=BENCH_$$(date +%Y-%m-%d).$$n.json; n=$$((n+1)); done; \
+	$(GO) test -run NONE -bench 'BenchmarkTable|BenchmarkWrapper|BenchmarkExtract' \
+		-benchmem -json . | tee $$out
+
+# benchcmp diffs the two newest BENCH_*.json files (ns/op, B/op,
+# allocs/op per benchmark).
+benchcmp:
+	$(GO) run ./cmd/mse-benchcmp
 
 clean:
 	$(GO) clean ./...

@@ -378,6 +378,56 @@ func BenchmarkScaleWrapperConstruction(b *testing.B) {
 	}
 }
 
+// BenchmarkExtractHotPath measures one warm-wrapper extraction of a single
+// page — the per-request cost of the serving fast path with pooled parse
+// arenas, render scratches and apply scratches.  Run with -benchmem; the
+// allocs/op figure is the PR's zero-allocation-fast-path scorecard.
+func BenchmarkExtractHotPath(b *testing.B) {
+	e := synth.NewEngine(2006, 5, true)
+	var samples []SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	w, err := Train(samples, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp := e.Page(7)
+	b.SetBytes(int64(len(gp.HTML)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Extract(gp.HTML, gp.Query)
+	}
+}
+
+// BenchmarkExtractHotPathParallel is the concurrent-throughput variant of
+// BenchmarkExtractHotPath: GOMAXPROCS goroutines extracting at once, the
+// shape of a loaded extraction service.  It exercises pool contention and
+// cross-goroutine arena recycling.
+func BenchmarkExtractHotPathParallel(b *testing.B) {
+	e := synth.NewEngine(2006, 5, true)
+	var samples []SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	w, err := Train(samples, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp := e.Page(7)
+	b.SetBytes(int64(len(gp.HTML)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			w.Extract(gp.HTML, gp.Query)
+		}
+	})
+}
+
 // BenchmarkExtractionThroughput measures steady-state extraction pages/sec
 // with a warm wrapper — the serving-path cost of the metasearch and
 // deep-crawl applications.

@@ -1,0 +1,262 @@
+// Command mse-benchcmp compares two benchmark runs recorded by `make
+// bench` (go test -json streams in BENCH_*.json files) and prints the
+// per-benchmark deltas for ns/op, B/op and allocs/op.
+//
+// Usage:
+//
+//	mse-benchcmp                 # diff the two newest BENCH_*.json by mtime
+//	mse-benchcmp OLD.json NEW.json
+//
+// Benchmarks present in only one of the runs are listed without deltas.
+// Repeated runs of the same benchmark within one file are averaged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the go test -json stream we consume.  Foreign
+// lines (e.g. hand-written annotation records) simply fail to decode into
+// an "output" action and are skipped.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// result accumulates the metrics of one benchmark across repeated runs.
+type result struct {
+	runs   int
+	nsOp   float64
+	bOp    float64
+	allocs float64
+	hasMem bool
+}
+
+func main() {
+	var oldFile, newFile string
+	switch len(os.Args) {
+	case 1:
+		files, err := filepath.Glob("BENCH_*.json")
+		if err != nil || len(files) < 2 {
+			fmt.Fprintf(os.Stderr, "mse-benchcmp: need two BENCH_*.json files (found %d); run `make bench` twice or pass two files\n", len(files))
+			os.Exit(1)
+		}
+		sort.Slice(files, func(i, j int) bool { return mtime(files[i]) < mtime(files[j]) })
+		oldFile, newFile = files[len(files)-2], files[len(files)-1]
+	case 3:
+		oldFile, newFile = os.Args[1], os.Args[2]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mse-benchcmp [OLD.json NEW.json]")
+		os.Exit(2)
+	}
+
+	oldRes, err := parseFile(oldFile)
+	if err != nil {
+		fatal(err)
+	}
+	newRes, err := parseFile(newFile)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("old: %s\nnew: %s\n\n", oldFile, newFile)
+
+	names := map[string]bool{}
+	for n := range oldRes {
+		names[n] = true
+	}
+	for n := range newRes {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("%-40s %26s %26s %22s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, n := range sorted {
+		o, haveOld := oldRes[n]
+		nw, haveNew := newRes[n]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-40s %26s %26s %22s\n", n, only(nw.ns(), "new"), only(nw.b(), "new"), only(nw.a(), "new"))
+		case !haveNew:
+			fmt.Printf("%-40s %26s %26s %22s\n", n, only(o.ns(), "old"), only(o.b(), "old"), only(o.a(), "old"))
+		default:
+			fmt.Printf("%-40s %26s %26s %22s\n", n,
+				delta(o.ns(), nw.ns()), delta(o.b(), nw.b()), delta(o.a(), nw.a()))
+		}
+	}
+}
+
+func (r *result) ns() float64 { return r.nsOp / float64(r.runs) }
+func (r *result) b() float64 {
+	if !r.hasMem {
+		return -1
+	}
+	return r.bOp / float64(r.runs)
+}
+func (r *result) a() float64 {
+	if !r.hasMem {
+		return -1
+	}
+	return r.allocs / float64(r.runs)
+}
+
+// delta formats "old → new (±x%)"; negative percentages are improvements.
+func delta(o, n float64) string {
+	if o < 0 || n < 0 {
+		return "-"
+	}
+	if o == 0 {
+		return fmt.Sprintf("%s → %s", human(o), human(n))
+	}
+	return fmt.Sprintf("%s → %s (%+.1f%%)", human(o), human(n), 100*(n-o)/o)
+}
+
+func only(v float64, which string) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s (%s only)", human(v), which)
+}
+
+// human renders a metric compactly (12.3M, 456.7k, 89).
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+}
+
+func mtime(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.ModTime().UnixNano()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mse-benchcmp:", err)
+	os.Exit(1)
+}
+
+func parseFile(path string) (map[string]*result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]*result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	// go test -json splits one benchmark result line across several
+	// "output" events (the name flushes with a trailing tab, the counts
+	// arrive later), so reassemble the output stream into complete
+	// text lines before parsing.
+	var pending strings.Builder
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // annotation or malformed line; not a test event
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		pending.WriteString(ev.Output)
+		text := pending.String()
+		for {
+			nl := strings.IndexByte(text, '\n')
+			if nl < 0 {
+				break
+			}
+			addBenchLine(out, text[:nl])
+			text = text[nl+1:]
+		}
+		pending.Reset()
+		pending.WriteString(text)
+	}
+	addBenchLine(out, pending.String())
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return out, nil
+}
+
+// addBenchLine parses one reassembled output line and, if it is a
+// benchmark result, folds it into the accumulator.
+func addBenchLine(out map[string]*result, line string) {
+	name, r, ok := parseBenchLine(line)
+	if !ok {
+		return
+	}
+	acc, exists := out[name]
+	if !exists {
+		out[name] = r
+		return
+	}
+	acc.runs += r.runs
+	acc.nsOp += r.nsOp
+	acc.bOp += r.bOp
+	acc.allocs += r.allocs
+	acc.hasMem = acc.hasMem || r.hasMem
+}
+
+// parseBenchLine extracts one "BenchmarkName  N  x ns/op  y B/op  z
+// allocs/op" result.  The -8 style GOMAXPROCS suffix is stripped so runs
+// from different machines still line up.
+func parseBenchLine(line string) (string, *result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := &result{runs: 1}
+	seen := false
+	for i := 1; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.nsOp = v
+			seen = true
+		case "B/op":
+			r.bOp = v
+			r.hasMem = true
+		case "allocs/op":
+			r.allocs = v
+			r.hasMem = true
+		}
+	}
+	if !seen {
+		return "", nil, false
+	}
+	return name, r, true
+}

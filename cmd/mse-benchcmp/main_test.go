@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseFileReassemblesSplitLines mirrors what go test -json actually
+// emits: the benchmark name flushes as its own output event ending in a
+// tab, the counts arrive in a later event, log lines are interleaved, and
+// a foreign annotation line ends the file.
+func TestParseFileReassemblesSplitLines(t *testing.T) {
+	const stream = `{"Action":"output","Package":"mse","Output":"goos: linux\n"}
+{"Action":"output","Package":"mse","Output":"=== RUN   BenchmarkA\n"}
+{"Action":"output","Package":"mse","Output":"BenchmarkA\n"}
+{"Action":"output","Package":"mse","Output":"    bench_test.go:48: table output\n"}
+{"Action":"output","Package":"mse","Output":"BenchmarkA   \t"}
+{"Action":"output","Package":"mse","Output":"       4\t 295569819 ns/op\t58691180 B/op\t 1032496 allocs/op\n"}
+{"Action":"output","Package":"mse","Output":"BenchmarkB-8   \t  100\t  123 ns/op\t 456 B/op\t 7 allocs/op\n"}
+{"Action":"pass","Package":"mse"}
+{"Note": "hand-written annotation", "Benchmark": "BenchmarkA"}
+`
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	a := got["BenchmarkA"]
+	if a == nil || a.ns() != 295569819 || a.b() != 58691180 || a.a() != 1032496 {
+		t.Fatalf("BenchmarkA = %+v", a)
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	b := got["BenchmarkB"]
+	if b == nil || b.ns() != 123 || b.b() != 456 || b.a() != 7 {
+		t.Fatalf("BenchmarkB = %+v", b)
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkA",                  // run announcement, no metrics
+		"=== RUN   BenchmarkA",        // test framework chatter
+		"goos: linux",                 // header
+		"Benchmark 4 100 apples/op",   // no ns/op
+		"    bench_test.go:48: table", // log line
+	} {
+		if name, _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q parsed as benchmark %q", line, name)
+		}
+	}
+}
+
+// TestParseBenchLineAveragesViaAdd checks repeated runs of one benchmark
+// average rather than overwrite.
+func TestParseBenchLineAveragesViaAdd(t *testing.T) {
+	out := map[string]*result{}
+	addBenchLine(out, "BenchmarkA\t 10\t 100 ns/op\t 10 B/op\t 1 allocs/op")
+	addBenchLine(out, "BenchmarkA\t 10\t 300 ns/op\t 30 B/op\t 3 allocs/op")
+	a := out["BenchmarkA"]
+	if a.ns() != 200 || a.b() != 20 || a.a() != 2 {
+		t.Fatalf("averaged = ns %v B %v allocs %v", a.ns(), a.b(), a.a())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"mse/internal/cluster"
+	"mse/internal/dom"
 	"mse/internal/dse"
 	"mse/internal/editdist"
 	"mse/internal/granularity"
@@ -124,11 +125,19 @@ func BuildWrapper(samples []*SamplePage, opt Options) (*EngineWrapper, error) {
 	edCalls := editdist.TreeCalls()
 	cs0 := editdist.Stats()
 
-	// Steps 1-6 per page (DSE works across pages).
-	pageSections, err := analyzePages(samples, opt, root)
+	// Steps 1-6 per page (DSE works across pages).  The sample pages live
+	// only for the duration of this call — the wrappers built from them
+	// copy every string and path they keep — so their parse arenas and
+	// render scratches are leased from the pools and released on return.
+	pageSections, leases, err := analyzePages(samples, opt, root, true)
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		for _, l := range leases {
+			l.Release()
+		}
+	}()
 	// Step 7: group section instances into schema clusters.
 	clOpt := opt.Cluster
 	if clOpt.Parallelism == 0 {
@@ -176,7 +185,10 @@ func BuildWrapper(samples []*SamplePage, opt Options) (*EngineWrapper, error) {
 func AnalyzePages(samples []*SamplePage, opt Options) ([]*cluster.PageSections, error) {
 	root := opt.Obs.Start(obs.RootAnalyzePages)
 	defer root.End()
-	return analyzePages(samples, opt, root)
+	// The returned PageSections keep their pages alive indefinitely, so
+	// this path stays on the unpooled allocator.
+	out, _, err := analyzePages(samples, opt, root, false)
+	return out, err
 }
 
 // analyzePages is AnalyzePages recording its step spans under parent
@@ -186,15 +198,26 @@ func AnalyzePages(samples []*SamplePage, opt Options) ([]*cluster.PageSections, 
 // time.  The per-page stages (1-2 and 4-6) fan out over a worker pool —
 // pages are independent there — while DSE (step 3) is inherently
 // cross-page and stays serial.
-func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span) ([]*cluster.PageSections, error) {
+func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span, pooled bool) ([]*cluster.PageSections, []*PageLease, error) {
 	workers := par.Workers(opt.Parallelism)
 	renderSp := parent.Child(obs.StepRender)
 	mreSp := parent.Child(obs.StepMRE)
 	inputs := make([]*dse.PageInput, len(samples))
+	var leases []*PageLease
+	if pooled {
+		leases = make([]*PageLease, len(samples))
+	}
 	par.ForEachIndex(len(samples), workers, func(i int) {
 		sp := samples[i]
 		t0 := renderSp.Begin()
-		page := layout.Render(htmlparse.Parse(sp.HTML)) // step 1
+		var page *layout.Page
+		if pooled {
+			doc, arena := htmlparse.ParsePooled(sp.HTML) // step 1
+			page = layout.RenderPooled(doc)
+			leases[i] = &PageLease{page: page, arena: arena}
+		} else {
+			page = layout.Render(htmlparse.Parse(sp.HTML)) // step 1
+		}
 		renderSp.AddSince(t0)
 		t0 = mreSp.Begin()
 		mrs := mre.Extract(page, opt.MRE) // step 2
@@ -247,7 +270,7 @@ func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span) ([]*clus
 	}
 	parent.Count("sections", sectionCount)
 	parent.Count("records", recordCount)
-	return out, nil
+	return out, leases, nil
 }
 
 func dropEmpty(sections []*sect.Section) []*sect.Section {
@@ -277,13 +300,60 @@ func avgStart(g *cluster.Group) float64 {
 // root span with render / wrapper_build / families children and sections
 // and records counters.
 func (ew *EngineWrapper) Extract(html string, query []string) []*Section {
+	sections, lease := ew.ExtractLeased(html, query)
+	lease.Release()
+	return sections
+}
+
+// PageLease holds the pooled parse arena and render scratch behind one
+// ExtractLeased call.  Releasing it returns both to their pools; callers
+// must do so only once they no longer reference the page.  The extracted
+// sections themselves are plain strings and ints and always outlive the
+// lease.  A nil lease is valid and Release is idempotent.
+type PageLease struct {
+	page  *layout.Page
+	arena *dom.Arena
+}
+
+// Page returns the rendered page backing the extraction.  It becomes
+// invalid when the lease is released.
+func (l *PageLease) Page() *layout.Page {
+	if l == nil {
+		return nil
+	}
+	return l.page
+}
+
+// Release returns the lease's arena and render scratch to their pools.
+func (l *PageLease) Release() {
+	if l == nil {
+		return
+	}
+	if l.page != nil {
+		l.page.Release()
+		l.page = nil
+	}
+	if l.arena != nil {
+		l.arena.Release()
+		l.arena = nil
+	}
+}
+
+// ExtractLeased is Extract on the pooled fast path: the DOM comes from a
+// pooled parse arena and the page from a pooled render scratch.  The
+// returned sections are ordinary heap values; the lease must be released
+// (exactly once, after the response derived from the sections and page is
+// complete) to recycle the per-request memory.
+func (ew *EngineWrapper) ExtractLeased(html string, query []string) ([]*Section, *PageLease) {
 	root := ew.opt.Obs.Start(obs.RootExtract)
 	defer root.End()
 	renderSp := root.Child(obs.StepRender)
 	t0 := renderSp.Begin()
-	page := layout.Render(htmlparse.Parse(html))
+	doc, arena := htmlparse.ParsePooled(html)
+	page := layout.RenderPooled(doc)
 	renderSp.AddSince(t0)
-	return ew.extractFromPage(page, query, root)
+	sections := ew.extractFromPage(page, query, root)
+	return sections, &PageLease{page: page, arena: arena}
 }
 
 // ExtractFromPage is Extract for an already rendered page.

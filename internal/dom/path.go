@@ -2,7 +2,6 @@ package dom
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -35,22 +34,46 @@ type TagPath []PathNode
 // itself has an empty path.  Text and comment nodes are located the same
 // way as elements; their step tags use the node-type label ("#text").
 func PathOf(n *Node) TagPath {
-	var rev []PathNode
+	if l := PathLen(n); l > 0 {
+		return AppendPath(make(TagPath, 0, l), n)
+	}
+	return nil
+}
+
+// PathLen returns len(PathOf(n)) without allocating: the number of
+// first-child / next-sibling steps from the root to n.
+func PathLen(n *Node) int {
+	l := 0
 	for n.Parent != nil {
 		if n.PrevSibling != nil {
 			n = n.PrevSibling
-			rev = append(rev, PathNode{Tag: n.Label(), Dir: Sibling})
 		} else {
 			n = n.Parent
-			rev = append(rev, PathNode{Tag: n.Label(), Dir: Child})
+		}
+		l++
+	}
+	return l
+}
+
+// AppendPath appends the tag path of n to dst and returns the extended
+// slice.  Callers that pre-size dst (e.g. from PathLen, or out of an
+// arena) get the path without any allocation.
+func AppendPath(dst TagPath, n *Node) TagPath {
+	base := len(dst)
+	for n.Parent != nil {
+		if n.PrevSibling != nil {
+			n = n.PrevSibling
+			dst = append(dst, PathNode{Tag: n.Label(), Dir: Sibling})
+		} else {
+			n = n.Parent
+			dst = append(dst, PathNode{Tag: n.Label(), Dir: Child})
 		}
 	}
-	// Reverse into document order.
-	out := make(TagPath, len(rev))
-	for i, pn := range rev {
-		out[len(rev)-1-i] = pn
+	// The walk produced the steps leaf-to-root; reverse into document order.
+	for i, j := base, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return out
+	return dst
 }
 
 // String renders the path in the paper's notation, e.g.
@@ -104,21 +127,48 @@ type CompactPath []CStep
 // the last C node are folded into a synthetic final entry with an empty
 // tag, so that the full sibling offset of the target is preserved.
 func (p TagPath) Compact() CompactPath {
-	var out CompactPath
+	if l := p.CompactLen(); l > 0 {
+		return p.AppendCompact(make(CompactPath, 0, l))
+	}
+	return nil
+}
+
+// CompactLen returns len(p.Compact()) without allocating.
+func (p TagPath) CompactLen() int {
+	l, s := 0, 0
+	for _, pn := range p {
+		switch pn.Dir {
+		case Sibling:
+			s++
+		case Child:
+			l++
+			s = 0
+		}
+	}
+	if s > 0 {
+		l++
+	}
+	return l
+}
+
+// AppendCompact appends the compact form of p to dst and returns the
+// extended slice; pre-sizing dst (from CompactLen or an arena) makes the
+// conversion allocation-free.
+func (p TagPath) AppendCompact(dst CompactPath) CompactPath {
 	s := 0
 	for _, pn := range p {
 		switch pn.Dir {
 		case Sibling:
 			s++
 		case Child:
-			out = append(out, CStep{Tag: pn.Tag, SBefore: s})
+			dst = append(dst, CStep{Tag: pn.Tag, SBefore: s})
 			s = 0
 		}
 	}
 	if s > 0 {
-		out = append(out, CStep{Tag: "", SBefore: s})
+		dst = append(dst, CStep{Tag: "", SBefore: s})
 	}
-	return out
+	return dst
 }
 
 // CTags returns the sequence of C-node tags of the compact path.
@@ -408,12 +458,19 @@ func LocateCompactAll(root *Node, target CompactPath) []*Node {
 	}
 	visit(root, 0)
 
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].d != cands[b].d {
-			return cands[a].d < cands[b].d
+	// Insertion sort by (distance, document order): candidate lists are
+	// short (a handful of compatible subtrees per wrapper), and avoiding
+	// sort.Slice keeps the comparator closure and reflect-based swapper off
+	// the per-request allocation profile.
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i - 1
+		for j >= 0 && (cands[j].d > c.d || (cands[j].d == c.d && cands[j].docN > c.docN)) {
+			cands[j+1] = cands[j]
+			j--
 		}
-		return cands[a].docN < cands[b].docN
-	})
+		cands[j+1] = c
+	}
 	out := make([]*Node, len(cands))
 	for j, c := range cands {
 		out[j] = c.n

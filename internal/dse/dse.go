@@ -14,6 +14,8 @@ package dse
 
 import (
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"mse/internal/dom"
 	"mse/internal/layout"
@@ -44,38 +46,154 @@ type PageInput struct {
 // CleanLine removes the dynamic components of a content line's text:
 // digits are stripped from every token and query terms are dropped (lines
 // 1-2 of Figure 5).  Rule lines are given a stable sentinel so static
-// separators can match across pages.
+// separators can match across pages.  Callers cleaning many lines against
+// the same query should reuse a LineCleaner instead.
 func CleanLine(l *layout.Line, query []string) string {
+	var c LineCleaner
+	c.Reset(query)
+	return c.Clean(l)
+}
+
+// LineCleaner is a reusable CleanLine: the query-term set and the output
+// buffer persist across Clean calls, so cleaning a line costs exactly one
+// string allocation (the result).  The zero value is ready after Reset.
+// A LineCleaner must not be shared between goroutines.
+type LineCleaner struct {
+	qset  map[string]bool
+	out   []byte
+	lower []byte
+}
+
+// Reset installs the query whose terms Clean drops from line texts.
+func (c *LineCleaner) Reset(query []string) {
+	if c.qset == nil {
+		c.qset = make(map[string]bool, len(query))
+	} else {
+		clear(c.qset)
+	}
+	for _, q := range query {
+		c.qset[strings.ToLower(q)] = true
+	}
+}
+
+const trimCutset = ".,;:!?()"
+
+func inCutset(b byte) bool { return b < 0x80 && strings.IndexByte(trimCutset, b) >= 0 }
+
+// Clean returns the cleaned text of l, byte-identical to CleanLine with
+// the query last given to Reset.
+func (c *LineCleaner) Clean(l *layout.Line) string {
 	if l.Type == layout.RuleLine {
 		return "\x00hr"
 	}
-	qset := make(map[string]bool, len(query))
-	for _, q := range query {
-		qset[strings.ToLower(q)] = true
-	}
-	fields := strings.Fields(l.Text)
-	out := make([]string, 0, len(fields))
-	for _, f := range fields {
-		if qset[strings.ToLower(strings.Trim(f, ".,;:!?()"))] {
+	out := c.out[:0]
+	s := l.Text
+	i := 0
+	for i < len(s) {
+		r, w := rune(s[i]), 1
+		if r >= utf8.RuneSelf {
+			r, w = utf8.DecodeRuneInString(s[i:])
+		}
+		if unicode.IsSpace(r) {
+			i += w
 			continue
 		}
-		f = stripDigits(f)
-		if f == "" {
+		start := i
+		for i < len(s) {
+			r, w = rune(s[i]), 1
+			if r >= utf8.RuneSelf {
+				r, w = utf8.DecodeRuneInString(s[i:])
+			}
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += w
+		}
+		f := s[start:i]
+		if c.isQueryTerm(f) {
 			continue
 		}
-		out = append(out, f)
+		mark := len(out)
+		if len(out) > 0 {
+			out = append(out, ' ')
+		}
+		stripped := appendStripDigits(out, f)
+		if len(stripped) == len(out) {
+			out = out[:mark] // field was digits-only; drop the separator too
+			continue
+		}
+		out = stripped
 	}
-	return strings.Join(out, " ")
+	c.out = out
+	return string(out)
 }
 
-func stripDigits(s string) string {
-	var sb strings.Builder
-	for _, r := range s {
-		if r < '0' || r > '9' {
-			sb.WriteRune(r)
+// isQueryTerm reports whether the field, with the punctuation cutset
+// trimmed from both ends and lowercased, is one of the query terms.  The
+// lookup allocates nothing for ASCII fields (the common case).
+func (c *LineCleaner) isQueryTerm(f string) bool {
+	if len(c.qset) == 0 {
+		return false
+	}
+	// strings.Trim with an ASCII cutset only ever removes single bytes.
+	for len(f) > 0 && inCutset(f[0]) {
+		f = f[1:]
+	}
+	for len(f) > 0 && inCutset(f[len(f)-1]) {
+		f = f[:len(f)-1]
+	}
+	ascii, lower := true, true
+	for j := 0; j < len(f); j++ {
+		b := f[j]
+		if b >= 0x80 {
+			ascii = false
+			break
+		}
+		if b >= 'A' && b <= 'Z' {
+			lower = false
 		}
 	}
-	return sb.String()
+	if !ascii {
+		return c.qset[strings.ToLower(f)]
+	}
+	if lower {
+		return c.qset[f]
+	}
+	buf := append(c.lower[:0], f...)
+	c.lower = buf[:0]
+	for j, b := range buf {
+		if b >= 'A' && b <= 'Z' {
+			buf[j] = b + 'a' - 'A'
+		}
+	}
+	return c.qset[string(buf)]
+}
+
+// appendStripDigits appends s to dst with ASCII digits removed, matching
+// the rune-oriented stripDigits byte for byte (invalid UTF-8 sequences
+// become U+FFFD, as strings.Builder.WriteRune produced).
+func appendStripDigits(dst []byte, s string) []byte {
+	ascii := true
+	for j := 0; j < len(s); j++ {
+		if s[j] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		for j := 0; j < len(s); j++ {
+			if s[j] < '0' || s[j] > '9' {
+				dst = append(dst, s[j])
+			}
+		}
+		return dst
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			dst = utf8.AppendRune(dst, r)
+		}
+	}
+	return dst
 }
 
 // cleanedPage caches per-line cleaned texts for one page.
@@ -86,8 +204,10 @@ type cleanedPage struct {
 
 func newCleanedPage(in *PageInput) *cleanedPage {
 	cp := &cleanedPage{in: in, clean: make([]string, len(in.Page.Lines))}
+	var c LineCleaner
+	c.Reset(in.Query)
 	for i := range in.Page.Lines {
-		cp.clean[i] = CleanLine(&in.Page.Lines[i], in.Query)
+		cp.clean[i] = c.Clean(&in.Page.Lines[i])
 	}
 	return cp
 }

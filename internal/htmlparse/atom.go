@@ -1,0 +1,80 @@
+package htmlparse
+
+import "strings"
+
+// The atom table interns the tag and attribute names that occur on result
+// pages, so tokenizing "<TD Align=LEFT>" yields the same canonical "td" /
+// "align" string values every time without allocating, and without pinning
+// the page source through tiny name substrings.  Lookup is allocation-free
+// for both already-lowercase input (direct map hit on the source slice) and
+// mixed-case input (lowered into a stack buffer; the compiler elides the
+// string conversion in map index expressions).
+var atomTable = make(map[string]string, 160)
+
+func init() {
+	for _, s := range []string{
+		// Element names.
+		"a", "abbr", "address", "area", "article", "aside", "b", "base",
+		"big", "blockquote", "body", "br", "button", "caption", "center",
+		"cite", "code", "col", "colgroup", "dd", "div", "dl", "dt", "em",
+		"embed", "fieldset", "font", "footer", "form", "h1", "h2", "h3",
+		"h4", "h5", "h6", "head", "header", "hr", "html", "i", "iframe",
+		"img", "input", "ins", "kbd", "label", "legend", "li", "link",
+		"main", "map", "meta", "nav", "nobr", "noscript", "ol", "optgroup",
+		"option", "p", "param", "pre", "s", "samp", "script", "section",
+		"select", "small", "source", "span", "strike", "strong", "style",
+		"sub", "sup", "table", "tbody", "td", "template", "textarea",
+		"tfoot", "th", "thead", "title", "tr", "track", "tt", "u", "ul",
+		"var", "wbr", "xmp",
+		// Attribute names.
+		"align", "alt", "bgcolor", "border", "cellpadding", "cellspacing",
+		"checked", "class", "color", "cols", "colspan", "content", "dir",
+		"disabled", "face", "height", "href", "http-equiv", "id", "lang",
+		"maxlength", "media", "method", "name", "nowrap", "onclick",
+		"placeholder", "rel", "rows", "rowspan", "selected", "size", "src",
+		"target", "title", "type", "valign", "value", "width",
+	} {
+		atomTable[s] = s
+	}
+}
+
+// atomLower returns the canonical lowercase form of a tag or attribute
+// name.  Interned names come back as the shared atom string; unknown names
+// fall back to strings.ToLower, matching the previous tokenizer exactly.
+func atomLower(s string) string {
+	ascii, lower := true, true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			ascii = false
+			break
+		}
+		if c >= 'A' && c <= 'Z' {
+			lower = false
+		}
+	}
+	if !ascii {
+		return strings.ToLower(s) // non-ASCII names need Unicode lowering
+	}
+	if lower {
+		if a, ok := atomTable[s]; ok {
+			return a
+		}
+		return s
+	}
+	var buf [24]byte
+	if len(s) <= len(buf) {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[i] = c
+		}
+		if a, ok := atomTable[string(buf[:len(s)])]; ok {
+			return a
+		}
+		return string(buf[:len(s)])
+	}
+	return strings.ToLower(s)
+}

@@ -40,19 +40,27 @@ var autoCloseBarrier = map[string]bool{
 	"select": true,
 }
 
-// barrierFor returns the boundary set for implicitly closing tag.  A <td>
-// must be able to close a previous <td> but its scan must not escape the
-// enclosing <tr>; similarly <li> must not escape <ul>.
+// Per-tag boundary sets for implicit closes, built once: a <td> must be
+// able to close a previous <td> but its scan must not escape the enclosing
+// <tr>; similarly <li> must not escape <ul>.
+var (
+	cellBarrier = map[string]bool{"tr": true, "table": true, "body": true, "html": true, "#document": true}
+	rowBarrier  = map[string]bool{"thead": true, "tbody": true, "tfoot": true, "table": true, "body": true, "html": true, "#document": true}
+	liBarrier   = map[string]bool{"ul": true, "ol": true, "body": true, "html": true, "#document": true}
+	dlBarrier   = map[string]bool{"dl": true, "body": true, "html": true, "#document": true}
+)
+
+// barrierFor returns the boundary set for implicitly closing tag.
 func barrierFor(tag string) map[string]bool {
 	switch tag {
 	case "td", "th":
-		return map[string]bool{"tr": true, "table": true, "body": true, "html": true, "#document": true}
+		return cellBarrier
 	case "tr":
-		return map[string]bool{"thead": true, "tbody": true, "tfoot": true, "table": true, "body": true, "html": true, "#document": true}
+		return rowBarrier
 	case "li":
-		return map[string]bool{"ul": true, "ol": true, "body": true, "html": true, "#document": true}
+		return liBarrier
 	case "dt", "dd":
-		return map[string]bool{"dl": true, "body": true, "html": true, "#document": true}
+		return dlBarrier
 	default:
 		return autoCloseBarrier
 	}
@@ -62,14 +70,33 @@ func barrierFor(tag string) map[string]bool {
 type parser struct {
 	doc   *dom.Node
 	stack []*dom.Node // open elements; stack[0] is the document
+	arena *dom.Arena  // node/attr allocator; nil falls back to the heap
 }
 
 // Parse parses HTML source into a DOM tree rooted at a DocumentNode.  The
 // result always contains an <html> element with <head> and <body>
 // children; body-level content in the source is placed under <body>.
 // Parse never fails: like a browser, it recovers from malformed markup.
+//
+// Nodes are batch-allocated from a throwaway arena (the garbage collector
+// reclaims them with the tree); use ParsePooled on the per-request serving
+// path where the tree's death is an explicit event.
 func Parse(src string) *dom.Node {
-	p := &parser{doc: &dom.Node{Type: dom.DocumentNode}}
+	doc, _ := parseWith(src, dom.NewArena())
+	return doc
+}
+
+// ParsePooled parses like Parse but allocates the tree from a pooled
+// arena, which the caller must Release once nothing can reference the
+// returned tree anymore (dom.Arena documents the soundness rule).  The
+// arena is nil — and Release a no-op — when arenas are disabled.
+func ParsePooled(src string) (*dom.Node, *dom.Arena) {
+	return parseWith(src, dom.AcquireArena())
+}
+
+func parseWith(src string, arena *dom.Arena) (*dom.Node, *dom.Arena) {
+	p := &parser{arena: arena}
+	p.doc = p.newNode(dom.DocumentNode)
 	p.stack = []*dom.Node{p.doc}
 	z := newTokenizer(src)
 	for {
@@ -80,7 +107,14 @@ func Parse(src string) *dom.Node {
 		p.consume(tok)
 	}
 	p.ensureStructure()
-	return p.doc
+	return p.doc, arena
+}
+
+// newNode allocates a node of the given type from the parse arena.
+func (p *parser) newNode(t dom.NodeType) *dom.Node {
+	n := p.arena.Node()
+	n.Type = t
+	return n
 }
 
 // top returns the innermost open element.
@@ -91,9 +125,13 @@ func (p *parser) top() *dom.Node {
 func (p *parser) consume(tok token) {
 	switch tok.typ {
 	case doctypeToken:
-		p.doc.AppendChild(&dom.Node{Type: dom.DoctypeNode, Data: tok.data})
+		d := p.newNode(dom.DoctypeNode)
+		d.Data = tok.data
+		p.doc.AppendChild(d)
 	case commentToken:
-		p.top().AppendChild(&dom.Node{Type: dom.CommentNode, Data: tok.data})
+		c := p.newNode(dom.CommentNode)
+		c.Data = tok.data
+		p.top().AppendChild(c)
 	case textToken:
 		p.addText(tok.data)
 	case startTagToken, selfClosingTagToken:
@@ -128,7 +166,9 @@ func (p *parser) addText(s string) {
 		parent.LastChild.Data += s
 		return
 	}
-	parent.AppendChild(&dom.Node{Type: dom.TextNode, Data: s})
+	t := p.newNode(dom.TextNode)
+	t.Data = s
+	parent.AppendChild(t)
 }
 
 // impliedCell opens the implied tr/td needed to place phrasing content that
@@ -196,9 +236,11 @@ func (p *parser) startTag(tok token) {
 			p.push("tr", nil)
 		}
 	}
-	attrs := convertAttrs(tok.attrs)
+	attrs := p.convertAttrs(tok.attrs)
 	if voidElements[name] || tok.typ == selfClosingTagToken {
-		n := &dom.Node{Type: dom.ElementNode, Tag: name, Attrs: attrs}
+		n := p.newNode(dom.ElementNode)
+		n.Tag = name
+		n.Attrs = attrs
 		p.top().AppendChild(n)
 		return
 	}
@@ -236,7 +278,9 @@ func isFormatting(tag string) bool {
 }
 
 func (p *parser) push(tag string, attrs []dom.Attr) {
-	n := &dom.Node{Type: dom.ElementNode, Tag: tag, Attrs: attrs}
+	n := p.newNode(dom.ElementNode)
+	n.Tag = tag
+	n.Attrs = attrs
 	p.top().AppendChild(n)
 	p.stack = append(p.stack, n)
 }
@@ -259,11 +303,13 @@ func (p *parser) endTag(name string) {
 	// No matching open tag: ignore, as browsers do.
 }
 
-func convertAttrs(in []attr) []dom.Attr {
+// convertAttrs copies the tokenizer's transient attribute buffer into an
+// arena-backed dom.Attr slice owned by the node.
+func (p *parser) convertAttrs(in []attr) []dom.Attr {
 	if len(in) == 0 {
 		return nil
 	}
-	out := make([]dom.Attr, len(in))
+	out := p.arena.Attrs(len(in))
 	for i, a := range in {
 		out[i] = dom.Attr{Key: a.key, Val: a.val}
 	}
@@ -285,7 +331,8 @@ func (p *parser) htmlElement() *dom.Node {
 			return c
 		}
 	}
-	h := &dom.Node{Type: dom.ElementNode, Tag: "html"}
+	h := p.newNode(dom.ElementNode)
+	h.Tag = "html"
 	p.doc.AppendChild(h)
 	if len(p.stack) == 1 {
 		p.stack = append(p.stack, h)
@@ -300,7 +347,8 @@ func (p *parser) headElement() *dom.Node {
 			return c
 		}
 	}
-	head := &dom.Node{Type: dom.ElementNode, Tag: "head"}
+	head := p.newNode(dom.ElementNode)
+	head.Tag = "head"
 	h.AppendChild(head)
 	return head
 }
@@ -312,7 +360,8 @@ func (p *parser) bodyElement() *dom.Node {
 			return c
 		}
 	}
-	body := &dom.Node{Type: dom.ElementNode, Tag: "body"}
+	body := p.newNode(dom.ElementNode)
+	body.Tag = "body"
 	h.AppendChild(body)
 	return body
 }

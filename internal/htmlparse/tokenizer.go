@@ -38,13 +38,19 @@ type attr struct {
 	val string
 }
 
-// tokenizer scans HTML source into tokens.
+// tokenizer scans HTML source into tokens.  It is byte-oriented: the
+// source is indexed byte by byte, tag and attribute names are interned
+// through the atom table instead of per-token strings.ToLower copies, and
+// the attribute buffer is reused across tokens (token.attrs is only valid
+// until the next call to next).
 type tokenizer struct {
 	src string
 	pos int
 	// rawTag, when non-empty, means the tokenizer is inside a raw-text
 	// element and consumes everything up to the matching close tag.
 	rawTag string
+	// attrBuf backs token.attrs; reused for every start tag.
+	attrBuf []attr
 }
 
 func newTokenizer(src string) *tokenizer {
@@ -83,11 +89,12 @@ func (z *tokenizer) text() token {
 	return token{typ: textToken, data: decodeEntities(z.src[start:z.pos])}
 }
 
-// rawText scans the content of a raw-text element up to its end tag.
+// rawText scans the content of a raw-text element up to its end tag.  The
+// "</tag" search is ASCII-case-insensitive in place; lowercasing the whole
+// remaining source (as a string-based scan would) allocates a copy of the
+// page per raw-text element.
 func (z *tokenizer) rawText() token {
-	closing := "</" + z.rawTag
-	low := strings.ToLower(z.src[z.pos:])
-	idx := strings.Index(low, closing)
+	idx := indexCloseTagFold(z.src[z.pos:], z.rawTag)
 	if idx < 0 {
 		// Unterminated raw text: consume the rest of the input.
 		data := z.src[z.pos:]
@@ -103,6 +110,41 @@ func (z *tokenizer) rawText() token {
 		return z.tag()
 	}
 	return token{typ: textToken, data: data}
+}
+
+// indexCloseTagFold returns the index of the first "</"+tag occurrence in
+// s, matching tag case-insensitively (tag is already lowercase ASCII).
+func indexCloseTagFold(s, tag string) int {
+	for i := 0; i+2+len(tag) <= len(s); {
+		j := strings.IndexByte(s[i:], '<')
+		if j < 0 {
+			return -1
+		}
+		i += j
+		if i+2+len(tag) > len(s) {
+			return -1
+		}
+		if s[i+1] != '/' {
+			i++
+			continue
+		}
+		match := true
+		for k := 0; k < len(tag); k++ {
+			c := s[i+2+k]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != tag[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+		i++
+	}
+	return -1
 }
 
 // tag scans a markup construct starting at '<'.
@@ -164,7 +206,7 @@ func (z *tokenizer) endTag() token {
 	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
 		z.pos++
 	}
-	name := strings.ToLower(z.src[start:z.pos])
+	name := atomLower(z.src[start:z.pos])
 	// Skip to '>' tolerant of stray attributes on end tags.
 	for z.pos < len(z.src) && z.src[z.pos] != '>' {
 		z.pos++
@@ -181,7 +223,7 @@ func (z *tokenizer) startTag() token {
 	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
 		z.pos++
 	}
-	name := strings.ToLower(z.src[start:z.pos])
+	name := atomLower(z.src[start:z.pos])
 	attrs, selfClosing := z.attributes()
 	typ := startTagToken
 	if selfClosing {
@@ -193,21 +235,27 @@ func (z *tokenizer) startTag() token {
 	return token{typ: typ, data: name, attrs: attrs}
 }
 
-// attributes scans attributes up to (and including) the closing '>'.
+// attributes scans attributes up to (and including) the closing '>'.  The
+// returned slice aliases the tokenizer's reusable buffer and is only valid
+// until the next token is scanned.
 func (z *tokenizer) attributes() (attrs []attr, selfClosing bool) {
+	attrs = z.attrBuf[:0]
 	for {
 		z.skipSpace()
 		if z.pos >= len(z.src) {
+			z.attrBuf = attrs
 			return attrs, false
 		}
 		switch z.src[z.pos] {
 		case '>':
 			z.pos++
+			z.attrBuf = attrs
 			return attrs, false
 		case '/':
 			z.pos++
 			if z.pos < len(z.src) && z.src[z.pos] == '>' {
 				z.pos++
+				z.attrBuf = attrs
 				return attrs, true
 			}
 			continue
@@ -221,7 +269,7 @@ func (z *tokenizer) attributes() (attrs []attr, selfClosing bool) {
 			}
 			z.pos++
 		}
-		key := strings.ToLower(z.src[start:z.pos])
+		key := atomLower(z.src[start:z.pos])
 		if key == "" {
 			z.pos++ // skip stray byte
 			continue

@@ -20,7 +20,6 @@
 package layout
 
 import (
-	"strings"
 	"sync"
 
 	"mse/internal/dom"
@@ -152,6 +151,11 @@ type Page struct {
 	// Guarded by fmu; callers treat the returned slice as read-only.
 	fmu     sync.Mutex
 	forests map[[2]int][]*dom.Node
+
+	// scratch backs Lines, span, forests and the per-line slices; pooled
+	// marks pages whose scratch returns to the render pool on Release.
+	scratch *renderScratch
+	pooled  bool
 }
 
 // Span returns the inclusive [first, last] line range covered by n and
@@ -230,12 +234,35 @@ func (p *Page) SectionRoot(start, end int) *dom.Node {
 }
 
 // Render lays out a parsed page and extracts its content lines in preorder
-// (document) order, implementing Step 1 of the MSE algorithm.
+// (document) order, implementing Step 1 of the MSE algorithm.  The page's
+// allocations are batched through a fresh scratch that is reclaimed by the
+// garbage collector along with the page.
 func Render(doc *dom.Node) *Page {
-	r := &renderer{
-		page:  &Page{Doc: doc, span: make(map[*dom.Node][2]int)},
-		sheet: collectStylesheet(doc),
+	return renderWith(doc, new(renderScratch), false)
+}
+
+// RenderPooled is Render with the scratch drawn from a process-wide pool;
+// the caller must call Page.Release once it no longer references the page
+// or anything reachable from it.  When arenas are disabled (see
+// dom.SetArenasEnabled) it degrades to Render.
+func RenderPooled(doc *dom.Node) *Page {
+	if !dom.ArenasEnabled() {
+		return Render(doc)
 	}
+	return renderWith(doc, acquireScratch(), true)
+}
+
+func renderWith(doc *dom.Node, sc *renderScratch, pooled bool) *Page {
+	sc.ensure(doc.Size())
+	page := &Page{
+		Doc:     doc,
+		Lines:   sc.lines[:0],
+		span:    sc.span,
+		forests: sc.forests,
+		scratch: sc,
+		pooled:  pooled,
+	}
+	r := &renderer{page: page, sheet: collectStylesheet(doc), sc: sc}
 	ctx := context{
 		x:     bodyMarginX,
 		width: pageWidth - 2*bodyMarginX,
@@ -244,12 +271,12 @@ func Render(doc *dom.Node) *Page {
 	r.walk(doc, ctx)
 	r.flush(false)
 	// Build node spans bottom-up from the leaves.
-	for i := range r.page.Lines {
-		for _, leaf := range r.page.Lines[i].Leaves {
+	for i := range page.Lines {
+		for _, leaf := range page.Lines[i].Leaves {
 			for n := leaf; n != nil; n = n.Parent {
-				s, ok := r.page.span[n]
+				s, ok := page.span[n]
 				if !ok {
-					r.page.span[n] = [2]int{i, i}
+					page.span[n] = [2]int{i, i}
 					continue
 				}
 				if i < s[0] {
@@ -258,11 +285,11 @@ func Render(doc *dom.Node) *Page {
 				if i > s[1] {
 					s[1] = i
 				}
-				r.page.span[n] = s
+				page.span[n] = s
 			}
 		}
 	}
-	return r.page
+	return page
 }
 
 // Layout constants of the simulated viewport.
@@ -285,16 +312,14 @@ type context struct {
 	href   string
 }
 
-// renderer accumulates content lines.
+// renderer accumulates content lines.  The per-line accumulation buffers
+// live in the render scratch and are reused line after line; flush copies
+// their contents into exact-size chunks cut from the scratch arenas.
 type renderer struct {
 	page  *Page
 	sheet *stylesheet
+	sc    *renderScratch
 
-	// Current-line accumulation state.
-	text    strings.Builder
-	leaves  []*dom.Node
-	attrs   []TextAttr
-	links   []string
 	lineX   int
 	started bool
 	hasText bool // plain (non-link) text present
@@ -319,24 +344,27 @@ func (r *renderer) flush(explicitBreak bool) {
 		}
 		return
 	}
+	sc := r.sc
 	typ := r.lineType()
+	sc.norm = appendNormalized(sc.norm[:0], sc.text)
 	line := Line{
-		Text:   strings.Join(strings.Fields(r.text.String()), " "),
+		Text:   string(sc.norm),
 		X:      r.lineX,
 		Type:   typ,
-		Attrs:  r.attrs,
-		Leaves: r.leaves,
-		Links:  r.links,
+		Attrs:  sc.attrs.allocCopy(sc.attrBuf),
+		Leaves: sc.leaves.allocCopy(sc.leafBuf),
+		Links:  sc.links.allocCopy(sc.linkBuf),
 	}
 	if len(line.Leaves) > 0 {
-		line.Path = dom.PathOf(line.Leaves[0])
-		line.CPath = line.Path.Compact()
+		leaf := line.Leaves[0]
+		line.Path = dom.AppendPath(dom.TagPath(sc.paths.alloc(dom.PathLen(leaf)))[:0], leaf)
+		line.CPath = line.Path.AppendCompact(dom.CompactPath(sc.cpaths.alloc(line.Path.CompactLen()))[:0])
 	}
 	r.emit(line)
-	r.text.Reset()
-	r.leaves = nil
-	r.attrs = nil
-	r.links = nil
+	sc.text = sc.text[:0]
+	sc.leafBuf = sc.leafBuf[:0]
+	sc.attrBuf = sc.attrBuf[:0]
+	sc.linkBuf = sc.linkBuf[:0]
 	r.started = false
 	r.hasText, r.hasLink, r.hasImg, r.hasForm, r.isRule = false, false, false, false, false
 	r.lastFlushWasBreak = explicitBreak
@@ -366,20 +394,22 @@ func (r *renderer) lineType() LineType {
 	}
 }
 
-// add appends inline content to the current line.
-func (r *renderer) add(text string, leaf *dom.Node, ctx context, kind contentKind) {
+// addBytes appends inline content to the current line.  text points into
+// the scratch collapse buffer (or is nil) and is copied, not retained.
+func (r *renderer) addBytes(text []byte, leaf *dom.Node, ctx context, kind contentKind) {
+	sc := r.sc
 	if !r.started {
 		r.started = true
 		r.lineX = ctx.x
 	}
-	if text != "" {
-		if r.text.Len() > 0 && !endsWithSpace(r.text.String()) && !startsWithSpace(text) {
-			r.text.WriteByte(' ')
+	if len(text) > 0 {
+		if len(sc.text) > 0 && !endsWithSpace(sc.text) && !startsWithSpace(text) {
+			sc.text = append(sc.text, ' ')
 		}
-		r.text.WriteString(text)
+		sc.text = append(sc.text, text...)
 	}
 	if leaf != nil {
-		r.leaves = append(r.leaves, leaf)
+		sc.leafBuf = append(sc.leafBuf, leaf)
 	}
 	switch kind {
 	case kindText:
@@ -391,8 +421,8 @@ func (r *renderer) add(text string, leaf *dom.Node, ctx context, kind contentKin
 		} else {
 			r.hasText = true
 		}
-		if !containsAttr(r.attrs, ctx.attr) {
-			r.attrs = append(r.attrs, ctx.attr)
+		if !containsAttr(sc.attrBuf, ctx.attr) {
+			sc.attrBuf = append(sc.attrBuf, ctx.attr)
 		}
 	case kindImage:
 		r.hasImg = true
@@ -404,12 +434,12 @@ func (r *renderer) add(text string, leaf *dom.Node, ctx context, kind contentKin
 }
 
 func (r *renderer) addLink(href string) {
-	for _, l := range r.links {
+	for _, l := range r.sc.linkBuf {
 		if l == href {
 			return
 		}
 	}
-	r.links = append(r.links, href)
+	r.sc.linkBuf = append(r.sc.linkBuf, href)
 }
 
 type contentKind int
@@ -430,7 +460,10 @@ func containsAttr(list []TextAttr, a TextAttr) bool {
 	return false
 }
 
-func startsWithSpace(s string) bool { return s != "" && (s[0] == ' ' || s[0] == '\t' || s[0] == '\n') }
-func endsWithSpace(s string) bool {
-	return s != "" && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\n')
+func startsWithSpace(s []byte) bool {
+	return len(s) > 0 && (s[0] == ' ' || s[0] == '\t' || s[0] == '\n')
+}
+
+func endsWithSpace(s []byte) bool {
+	return len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\n')
 }

@@ -1,6 +1,7 @@
 package layout
 
 import (
+	"bytes"
 	"strconv"
 	"strings"
 
@@ -38,11 +39,12 @@ var headingSizes = map[string]int{
 func (r *renderer) walk(n *dom.Node, ctx context) {
 	switch n.Type {
 	case dom.TextNode:
-		t := collapseSpace(n.Data)
-		if strings.TrimSpace(t) == "" {
+		t := appendCollapsed(r.sc.collapse[:0], n.Data)
+		r.sc.collapse = t[:0]
+		if len(bytes.TrimSpace(t)) == 0 {
 			return
 		}
-		r.add(t, n, ctx, kindText)
+		r.addBytes(t, n, ctx, kindText)
 		return
 	case dom.CommentNode, dom.DoctypeNode:
 		return
@@ -64,19 +66,23 @@ func (r *renderer) walk(n *dom.Node, ctx context) {
 		return
 	case "hr":
 		r.flush(false)
-		r.add("", n, ctx, kindRule)
+		r.addBytes(nil, n, ctx, kindRule)
 		r.flush(false)
 		return
 	case "img":
 		alt, _ := n.Attr("alt")
-		r.add(collapseSpace(alt), n, ctx, kindImage)
+		t := appendCollapsed(r.sc.collapse[:0], alt)
+		r.sc.collapse = t[:0]
+		r.addBytes(t, n, ctx, kindImage)
 		return
 	case "input", "select", "textarea", "button":
 		if typ, _ := n.Attr("type"); typ == "hidden" {
 			return
 		}
 		val, _ := n.Attr("value")
-		r.add(collapseSpace(val), n, ctx, kindForm)
+		t := appendCollapsed(r.sc.collapse[:0], val)
+		r.sc.collapse = t[:0]
+		r.addBytes(t, n, ctx, kindForm)
 		// select/button may contain text children which also belong to the
 		// form line.
 		for c := n.FirstChild; c != nil; c = c.NextSibling {
@@ -155,10 +161,10 @@ func adjustBlockContext(n *dom.Node, ctx context) context {
 // by dividing the available width across the row's cells (colspan counts
 // as extra columns).
 func (r *renderer) walkTable(table *dom.Node, ctx context) {
-	for _, section := range table.Children() {
+	for section := table.FirstChild; section != nil; section = section.NextSibling {
 		switch section.Tag {
 		case "thead", "tbody", "tfoot":
-			for _, row := range section.Children() {
+			for row := section.FirstChild; row != nil; row = row.NextSibling {
 				if row.Tag == "tr" {
 					r.walkRow(row, ctx)
 				} else {
@@ -178,10 +184,13 @@ func (r *renderer) walkTable(table *dom.Node, ctx context) {
 }
 
 func (r *renderer) walkRow(row *dom.Node, ctx context) {
-	cells := make([]*dom.Node, 0, 4)
-	spans := make([]int, 0, 4)
+	// Cells accumulate in the shared scratch buffers.  Nested tables re-enter
+	// walkRow, so this frame only owns sc.cellBuf[base:] and indexes into it
+	// (a nested row may grow — and reallocate — the buffer underneath us).
+	sc := r.sc
+	base := len(sc.cellBuf)
 	total := 0
-	for _, c := range row.Children() {
+	for c := row.FirstChild; c != nil; c = c.NextSibling {
 		if c.Tag == "td" || c.Tag == "th" {
 			span := 1
 			if v, ok := c.Attr("colspan"); ok {
@@ -189,14 +198,14 @@ func (r *renderer) walkRow(row *dom.Node, ctx context) {
 					span = s
 				}
 			}
-			cells = append(cells, c)
-			spans = append(spans, span)
+			sc.cellBuf = append(sc.cellBuf, c)
+			sc.spanBuf = append(sc.spanBuf, span)
 			total += span
 		}
 	}
 	if total == 0 {
 		// A row without cells may still carry stray content.
-		for _, c := range row.Children() {
+		for c := row.FirstChild; c != nil; c = c.NextSibling {
 			r.walk(c, ctx)
 		}
 		return
@@ -206,10 +215,11 @@ func (r *renderer) walkRow(row *dom.Node, ctx context) {
 		colWidth = 20
 	}
 	offset := 0
-	for i, cell := range cells {
+	for i := base; i < len(sc.cellBuf) && i < len(sc.spanBuf); i++ {
+		cell, span := sc.cellBuf[i], sc.spanBuf[i]
 		cctx := ctx
 		cctx.x = ctx.x + offset*colWidth
-		cctx.width = spans[i] * colWidth
+		cctx.width = span * colWidth
 		if cell.Tag == "th" {
 			cctx.attr.Style |= Bold
 		}
@@ -218,8 +228,10 @@ func (r *renderer) walkRow(row *dom.Node, ctx context) {
 			r.walk(c, cctx)
 		}
 		r.flush(false)
-		offset += spans[i]
+		offset += span
 	}
+	sc.cellBuf = sc.cellBuf[:base]
+	sc.spanBuf = sc.spanBuf[:base]
 }
 
 // applyTagAttr updates text attributes for presentational tags.
@@ -365,23 +377,4 @@ var cssNamedColors = map[string]string{
 	"fuchsia": "#ff00ff", "aqua": "#00ffff", "lime": "#00ff00",
 	"darkred": "#8b0000", "darkblue": "#00008b", "darkgreen": "#006400",
 	"brown": "#a52a2a", "crimson": "#dc143c",
-}
-
-// collapseSpace folds runs of whitespace into single spaces.
-func collapseSpace(s string) string {
-	var sb strings.Builder
-	sb.Grow(len(s))
-	space := false
-	for _, r := range s {
-		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' || r == 0xA0 {
-			space = true
-			continue
-		}
-		if space && sb.Len() > 0 {
-			sb.WriteByte(' ')
-		}
-		space = false
-		sb.WriteRune(r)
-	}
-	return sb.String()
 }

@@ -8,8 +8,11 @@ import (
 	"sync"
 	"time"
 
+	"mse/internal/dom"
 	"mse/internal/editdist"
+	"mse/internal/layout"
 	"mse/internal/obs"
+	"mse/internal/wrapper"
 )
 
 // Metrics aggregates service-level observability: an in-flight gauge, a
@@ -84,6 +87,26 @@ type metricsResponse struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Metrics       obs.Snapshot   `json:"metrics"`
 	TreeCache     *treeCacheJSON `json:"tree_cache,omitempty"`
+	Pools         *poolsJSON     `json:"pools,omitempty"`
+}
+
+// poolsJSON reports the process-wide per-request memory pools of the
+// extraction fast path: parse arenas, render scratches and apply
+// scratches (see dom.Arena and the DESIGN notes on arena soundness).
+type poolsJSON struct {
+	ArenasEnabled bool                      `json:"arenas_enabled"`
+	ParseArena    dom.ArenaStats            `json:"parse_arena"`
+	RenderScratch layout.ScratchStats       `json:"render_scratch"`
+	ApplyScratch  wrapper.ApplyScratchStats `json:"apply_scratch"`
+}
+
+func poolsSnapshot() *poolsJSON {
+	return &poolsJSON{
+		ArenasEnabled: dom.ArenasEnabled(),
+		ParseArena:    dom.ArenaStatsSnapshot(),
+		RenderScratch: layout.ScratchStatsSnapshot(),
+		ApplyScratch:  wrapper.ApplyScratchStatsSnapshot(),
+	}
 }
 
 // treeCacheJSON reports the process-wide tree-distance memoization cache.
@@ -108,6 +131,7 @@ func (m *Metrics) snapshot() metricsResponse {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Metrics:       m.reg.Snapshot(),
 		TreeCache:     treeCacheSnapshot(),
+		Pools:         poolsSnapshot(),
 	}
 }
 
@@ -129,6 +153,12 @@ func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism in
 	fmt.Fprintf(w, "tree-cache: enabled=%v entries=%d lookups=%d identical=%d hits=%d misses=%d early-exits=%d evictions=%d hit-rate=%.1f%%\n",
 		tc.Enabled, tc.Entries, tc.Lookups, tc.Identical, tc.Hits, tc.Misses,
 		tc.EarlyExits, tc.Evictions, 100*tc.HitRate)
+	ps := poolsSnapshot()
+	fmt.Fprintf(w, "pools: arenas=%v parse(acquires=%d reuses=%d releases=%d) render(acquires=%d reuses=%d releases=%d) apply(acquires=%d reuses=%d)\n",
+		ps.ArenasEnabled,
+		ps.ParseArena.Acquires, ps.ParseArena.Reuses, ps.ParseArena.Releases,
+		ps.RenderScratch.Acquires, ps.RenderScratch.Reuses, ps.RenderScratch.Releases,
+		ps.ApplyScratch.Acquires, ps.ApplyScratch.Reuses)
 	fmt.Fprintf(w, "engines:   %d\n\n", len(engineNames))
 
 	// Show every loaded engine, including ones never hit, plus any

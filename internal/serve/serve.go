@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -217,14 +218,16 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	}
 	em := r.metrics.engine(name)
 	em.requests.Inc()
-	body, err := io.ReadAll(io.LimitReader(req.Body, MaxPageBytes+1))
-	if err != nil {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyPool.Put(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(req.Body, MaxPageBytes+1)); err != nil {
 		em.errors.Inc()
 		r.metrics.errors.Inc()
 		writeError(w, http.StatusBadRequest, name, "reading body: "+err.Error())
 		return
 	}
-	if len(body) > MaxPageBytes {
+	if buf.Len() > MaxPageBytes {
 		em.errors.Inc()
 		r.metrics.errors.Inc()
 		writeError(w, http.StatusRequestEntityTooLarge, name,
@@ -236,14 +239,18 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 		query = strings.FieldsFunc(q, func(r rune) bool { return r == '+' || r == ' ' })
 	}
 
+	// The one body copy per request: extracted text and link strings slice
+	// into this string, so it cannot alias the pooled read buffer.
+	html := buf.String()
+
 	start := time.Now()
-	sections := ew.Extract(string(body), query)
+	sections, lease := ew.ExtractLeased(html, query)
 	em.latency.Observe(time.Since(start))
 
-	resp := extractResponse{Engine: name, Sections: []sectionJSON{}}
+	resp := extractResponse{Engine: name, Sections: make([]sectionJSON, 0, len(sections))}
 	records := int64(0)
 	for _, s := range sections {
-		sj := sectionJSON{Heading: s.Heading, Records: []recordJSON{}}
+		sj := sectionJSON{Heading: s.Heading, Records: make([]recordJSON, 0, len(s.Records))}
 		for _, rec := range s.Records {
 			rj := recordJSON{Lines: rec.Lines, Links: rec.Links}
 			for _, u := range annotate.Record(rec) {
@@ -257,7 +264,18 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	em.sections.Add(int64(len(sections)))
 	em.records.Add(records)
 	writeJSON(w, http.StatusOK, resp)
+	// The response is written and the sections hold only plain strings and
+	// ints; the page and its parse arena can go back to the pools.
+	r.ReleasePage(lease)
 }
+
+// bodyPool recycles the request-body read buffers of /extract.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// ReleasePage returns the pooled parse/render memory behind a completed
+// extraction.  It must be called after the response derived from the
+// leased page has been fully written; it is safe on a nil lease.
+func (r *Registry) ReleasePage(lease *core.PageLease) { lease.Release() }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -199,5 +200,138 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestExtractMalformedHTML pins the contract that broken markup is not an
+// error: the parser is total, so the service answers 200 with whatever
+// sections (usually none) the wrapper finds, and the sections array is a
+// JSON array, never null.
+func TestExtractMalformedHTML(t *testing.T) {
+	reg, _ := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	for _, body := range []string{
+		"",
+		"<<<>><table><tr><td<td></tr>",
+		"<html><body><p>unterminated",
+		"\x00\xff\xfe<div>\x80</div>",
+	} {
+		resp, err := http.Post(srv.URL+"/extract?engine=demo&q=x", "text/html",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Engine   string            `json:"engine"`
+			Sections []json.RawMessage `json:"sections"`
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("body %q: status = %d (%s)", body, resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("body %q: bad JSON: %v", body, err)
+		}
+		if out.Sections == nil {
+			t.Fatalf("body %q: sections is null, want []", body)
+		}
+	}
+}
+
+// TestConcurrentAddDuringExtraction hammers /extract while another
+// goroutine keeps replacing the wrapper under the same engine name.  Under
+// -race this proves a hot wrapper swap cannot tear an in-flight
+// extraction or corrupt the pooled parse/render/apply state.
+func TestConcurrentAddDuringExtraction(t *testing.T) {
+	reg, e := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := reg.Add("demo", testWrapper.data); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	gp := e.Page(8)
+	q := strings.Join(gp.Query, "+")
+	var clients sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			for j := 0; j < 10; j++ {
+				resp, err := http.Post(srv.URL+"/extract?engine=demo&q="+q,
+					"text/html", strings.NewReader(gp.HTML))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status = %d", resp.StatusCode)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	clients.Wait()
+	close(stop)
+	swapper.Wait()
+}
+
+// TestMetricsReportPools checks that the /metrics snapshot carries the
+// arena/scratch pool counters after traffic has flowed through the pooled
+// fast path.
+func TestMetricsReportPools(t *testing.T) {
+	reg, e := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	gp := e.Page(9)
+	resp, err := http.Post(srv.URL+"/extract?engine=demo&q="+strings.Join(gp.Query, "+"),
+		"text/html", strings.NewReader(gp.HTML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Pools *struct {
+			ArenasEnabled bool `json:"arenas_enabled"`
+			ParseArena    struct {
+				Acquires int64 `json:"acquires"`
+			} `json:"parse_arena"`
+		} `json:"pools"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Pools == nil {
+		t.Fatalf("metrics snapshot has no pools section")
+	}
+	if out.Pools.ArenasEnabled && out.Pools.ParseArena.Acquires == 0 {
+		t.Fatalf("arenas enabled but no arena acquires recorded")
 	}
 }

@@ -1,12 +1,45 @@
 package wrapper
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"mse/internal/dom"
 	"mse/internal/dse"
 	"mse/internal/layout"
 	"mse/internal/mining"
 	"mse/internal/visual"
 )
+
+// applyScratch is the per-Apply working state — most importantly the
+// reusable line cleaner, whose query-term set and output buffer would
+// otherwise be rebuilt for every boundary-marker comparison.  Pooled
+// across requests when arenas are enabled.
+type applyScratch struct {
+	cleaner dse.LineCleaner
+	used    bool
+}
+
+var applyScratchPool = sync.Pool{New: func() any { return new(applyScratch) }}
+
+// ApplyScratchStats are cumulative apply-scratch pool counters.
+type ApplyScratchStats struct {
+	Acquires uint64 `json:"acquires"`
+	Reuses   uint64 `json:"reuses"`
+}
+
+var applyScratchStats struct {
+	acquires atomic.Uint64
+	reuses   atomic.Uint64
+}
+
+// ApplyScratchStatsSnapshot returns the current apply-scratch counters.
+func ApplyScratchStatsSnapshot() ApplyScratchStats {
+	return ApplyScratchStats{
+		Acquires: applyScratchStats.acquires.Load(),
+		Reuses:   applyScratchStats.reuses.Load(),
+	}
+}
 
 // ExtractedRecord is one search result record pulled from a page.
 type ExtractedRecord struct {
@@ -45,13 +78,27 @@ func (w *SectionWrapper) Apply(p *layout.Page, query []string, opt Options) *Ext
 	// decide which candidate is the section: the paper's SBMs "precisely
 	// bound sections" (§2), and on pages where other sections are hidden
 	// the sibling offsets shift while the markers stay.
+	var sc *applyScratch
+	if dom.ArenasEnabled() {
+		sc = applyScratchPool.Get().(*applyScratch)
+		defer applyScratchPool.Put(sc)
+		applyScratchStats.acquires.Add(1)
+		if sc.used {
+			applyScratchStats.reuses.Add(1)
+		}
+		sc.used = true
+	} else {
+		sc = new(applyScratch)
+	}
+	sc.cleaner.Reset(query)
+
 	cands := dom.LocateCompactAll(p.Doc, w.Pref)
 	const maxCandidates = 24
 	if len(cands) > maxCandidates {
 		cands = cands[:maxCandidates]
 	}
 	for _, t := range cands {
-		if s := w.applyAt(p, t, query, opt); s != nil {
+		if s := w.applyAt(p, t, &sc.cleaner, opt); s != nil {
 			return s
 		}
 	}
@@ -60,7 +107,7 @@ func (w *SectionWrapper) Apply(p *layout.Page, query []string, opt Options) *Ext
 
 // applyAt attempts extraction with t as the section subtree; nil when the
 // candidate fails boundary validation.
-func (w *SectionWrapper) applyAt(p *layout.Page, t *dom.Node, query []string, opt Options) *ExtractedSection {
+func (w *SectionWrapper) applyAt(p *layout.Page, t *dom.Node, cleaner *dse.LineCleaner, opt Options) *ExtractedSection {
 	first, last, ok := p.Span(t)
 	if !ok {
 		return nil
@@ -70,19 +117,19 @@ func (w *SectionWrapper) applyAt(p *layout.Page, t *dom.Node, query []string, op
 	// Heading: the nearest preceding line matching a known LBM text.
 	heading := ""
 	if start > 0 {
-		if txt := dse.CleanLine(&p.Lines[start-1], query); matchesAny(txt, w.LBMs) {
+		if txt := cleaner.Clean(&p.Lines[start-1]); matchesAny(txt, w.LBMs) {
 			heading = p.Lines[start-1].Text
 		}
 	}
 	// Flat layouts: the subtree contains the boundary lines themselves.
 	// Clip the range to the lines between our LBM and the next boundary.
 	if heading == "" {
-		if lbm := findLineByText(p, start, end, w.LBMs, query); lbm >= 0 {
+		if lbm := findLineByText(p, start, end, w.LBMs, cleaner); lbm >= 0 {
 			heading = p.Lines[lbm].Text
 			start = lbm + 1
 			for i := start; i < end; i++ {
 				if attrsEqual(attrSetOf(p.Lines[i].Attrs), w.LBMAttrs) ||
-					matchesAny(dse.CleanLine(&p.Lines[i], query), w.RBMs) {
+					matchesAny(cleaner.Clean(&p.Lines[i]), w.RBMs) {
 					end = i
 					break
 				}
@@ -253,9 +300,20 @@ func extractRecords(p *layout.Page, blocks []visual.Block) []ExtractedRecord {
 	out := make([]ExtractedRecord, 0, len(blocks))
 	for _, b := range blocks {
 		rec := ExtractedRecord{Start: b.Start, End: b.End}
-		for _, l := range b.Lines() {
-			rec.Lines = append(rec.Lines, l.Text)
-			rec.Links = append(rec.Links, l.Links...)
+		lines := b.Lines()
+		if len(lines) > 0 {
+			rec.Lines = make([]string, 0, len(lines))
+		}
+		nlinks := 0
+		for i := range lines {
+			nlinks += len(lines[i].Links)
+		}
+		if nlinks > 0 {
+			rec.Links = make([]string, 0, nlinks)
+		}
+		for i := range lines {
+			rec.Lines = append(rec.Lines, lines[i].Text)
+			rec.Links = append(rec.Links, lines[i].Links...)
 		}
 		out = append(out, rec)
 	}
@@ -264,12 +322,12 @@ func extractRecords(p *layout.Page, blocks []visual.Block) []ExtractedRecord {
 
 // findLineByText returns the first line in [start, end) whose cleaned text
 // matches one of the given texts, or -1.
-func findLineByText(p *layout.Page, start, end int, texts []string, query []string) int {
+func findLineByText(p *layout.Page, start, end int, texts []string, cleaner *dse.LineCleaner) int {
 	if len(texts) == 0 {
 		return -1
 	}
 	for i := start; i < end && i < len(p.Lines); i++ {
-		if matchesAny(dse.CleanLine(&p.Lines[i], query), texts) {
+		if matchesAny(cleaner.Clean(&p.Lines[i]), texts) {
 			return i
 		}
 	}
