@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench benchcmp clean
+.PHONY: all build test vet race check stress bench benchcmp clean
 
 all: build
 
@@ -29,6 +29,13 @@ race:
 	$(GO) test -race -run 'TestDifferential' .
 
 check: build vet test race
+
+# stress storms the extraction service with hundreds of concurrent
+# deadline-bearing /extract requests under the race detector: admission
+# control, cancellation, panic recovery and the pooled arenas all get
+# exercised at once, and the test fails on any leaked arena or scratch.
+stress:
+	MSE_STRESS_N=300 $(GO) test -race -count=1 -v -run TestStressExtract ./internal/serve
 
 # bench regenerates the paper-table benchmarks with allocation stats and
 # records the raw runs in a dated BENCH_<date>.json for before/after

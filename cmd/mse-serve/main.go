@@ -4,6 +4,7 @@
 // Usage:
 //
 //	mse-serve -addr :8080 -wrappers dir/ [-pprof] [-quiet]
+//	          [-max-inflight N] [-queue-timeout D]
 //
 // Every *.json file in the wrappers directory is loaded as one engine
 // wrapper named after the file (sans extension).  Endpoints:
@@ -29,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +46,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable the per-request access log")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	parallelism := flag.Int("parallelism", 0, "pipeline worker count per extraction (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"max concurrent extractions before requests queue (0 = 2x GOMAXPROCS, negative = unlimited)")
+	queueTimeout := flag.Duration("queue-timeout", time.Second,
+		"how long an /extract request may wait for a slot before being shed with 429")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -54,6 +60,14 @@ func main() {
 	if !*quiet {
 		reg.SetAccessLog(logger)
 	}
+	// Admission control: by default admit roughly two extractions per CPU
+	// — extraction is CPU-bound, so beyond that extra concurrency only
+	// grows latency and pooled-memory footprint.  Negative disables.
+	inflight := *maxInflight
+	if inflight == 0 {
+		inflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	reg.SetLimits(inflight, *queueTimeout)
 	entries, err := os.ReadDir(*dir)
 	if err != nil {
 		fatal(logger, "reading wrapper directory", err)

@@ -1,0 +1,71 @@
+package cancel
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNilTokenIsInert(t *testing.T) {
+	var tok *Token
+	if tok.Canceled() {
+		t.Fatal("nil token reports canceled")
+	}
+	tok.Check() // must not panic
+}
+
+func TestFromContext(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("nil ctx should yield nil token")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("Background has no done channel; token should be nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	tok := FromContext(ctx)
+	if tok == nil {
+		t.Fatal("cancellable ctx yielded nil token")
+	}
+	if tok.Canceled() {
+		t.Fatal("canceled before cancel()")
+	}
+	cancel()
+	if !tok.Canceled() {
+		t.Fatal("not canceled after cancel()")
+	}
+	// Fast path after first observation.
+	if !tok.Canceled() {
+		t.Fatal("fired flag lost")
+	}
+}
+
+func TestCheckPanicsWithSignal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tok := FromContext(ctx)
+	cancel()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Check did not panic on canceled token")
+		}
+		if !IsSignal(r) {
+			t.Fatalf("panic value %v is not a Signal", r)
+		}
+	}()
+	tok.Check()
+}
+
+type wrapped struct{ v any }
+
+func (w wrapped) Unwrap() any { return w.v }
+
+func TestIsSignalUnwraps(t *testing.T) {
+	if !IsSignal(Signal{}) {
+		t.Fatal("bare Signal not recognized")
+	}
+	if !IsSignal(wrapped{Signal{}}) {
+		t.Fatal("wrapped Signal not recognized")
+	}
+	if IsSignal("boom") || IsSignal(wrapped{"boom"}) {
+		t.Fatal("non-signal recognized as Signal")
+	}
+}

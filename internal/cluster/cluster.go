@@ -16,6 +16,7 @@ package cluster
 import (
 	"sort"
 
+	"mse/internal/cancel"
 	"mse/internal/dom"
 	"mse/internal/dse"
 	"mse/internal/editdist"
@@ -38,6 +39,11 @@ type Options struct {
 	// matrix; 0 means GOMAXPROCS.  Scores land in an index-addressed
 	// matrix, so the grouping result is identical at any setting.
 	Parallelism int
+	// Cancel, when non-nil, is polled by the score-matrix fill — the
+	// quadratic heart of clustering — so a canceled context aborts the
+	// grouping between instance pairs.  core.BuildWrapperCtx installs it;
+	// it never needs to be set by hand.
+	Cancel *cancel.Token
 }
 
 // DefaultOptions returns the tuned defaults.
@@ -113,6 +119,7 @@ func GroupInstances(pages []*PageSections, opt Options) []*Group {
 	}
 	scores := make([]float64, n*n)
 	par.ForEachIndex(len(pairs), par.Workers(opt.Parallelism), func(k int) {
+		opt.Cancel.Check()
 		p := pairs[k]
 		s := Score(instances[p.a], instances[p.b], opt)
 		scores[p.a*n+p.b] = s
@@ -120,6 +127,7 @@ func GroupInstances(pages []*PageSections, opt Options) []*Group {
 	})
 	for a := 0; a < len(pageIDs); a++ {
 		for b := a + 1; b < len(pageIDs); b++ {
+			opt.Cancel.Check()
 			ia, ib := byPage[pageIDs[a]], byPage[pageIDs[b]]
 			res := match.StableMarriage(len(ia), len(ib), func(i, j int) float64 {
 				return scores[ia[i]*n+ib[j]]
@@ -208,7 +216,7 @@ func Score(a, b *Instance, opt Options) float64 {
 		pathSim = 1 - d
 	}
 	sbmSim := sbmSimilarity(a, b)
-	forestSim := 1 - editdist.ForestDist(a.recForest, b.recForest)
+	forestSim := 1 - editdist.ForestDistCancel(a.recForest, b.recForest, opt.Cancel)
 	return opt.PathWeight*pathSim + opt.SBMWeight*sbmSim + opt.ForestWeight*forestSim
 }
 

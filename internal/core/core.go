@@ -17,7 +17,9 @@ package core
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
 
+	"mse/internal/cancel"
 	"mse/internal/cluster"
 	"mse/internal/dom"
 	"mse/internal/dse"
@@ -69,6 +71,12 @@ type Options struct {
 	// tree_dist_calls).  When nil — the default — instrumentation
 	// reduces to nil-receiver checks and costs nothing.
 	Obs *obs.Tracer
+
+	// cancel is the cooperative-cancellation token threaded through the
+	// pipeline by the ctx-accepting entry points (BuildWrapperCtx,
+	// ExtractCtx, ExtractLeasedCtx).  Always nil on the plain entry
+	// points, so they keep their historical never-fails behaviour.
+	cancel *cancel.Token
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -206,17 +214,36 @@ func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span, pooled b
 	var leases []*PageLease
 	if pooled {
 		leases = make([]*PageLease, len(samples))
+		// A panic anywhere below (including a cancellation signal or a
+		// worker panic re-raised by par.ForEachIndex after all workers have
+		// stopped) must return every leased arena and page to the pools
+		// before unwinding.  Release is idempotent, so the caller's own
+		// deferred release of a successfully returned slice stays safe.
+		defer func() {
+			if r := recover(); r != nil {
+				for _, l := range leases {
+					l.Release()
+				}
+				panic(r)
+			}
+		}()
 	}
 	par.ForEachIndex(len(samples), workers, func(i int) {
+		opt.cancel.Check()
 		sp := samples[i]
 		t0 := renderSp.Begin()
 		var page *layout.Page
 		if pooled {
 			doc, arena := htmlparse.ParsePooled(sp.HTML) // step 1
-			page = layout.RenderPooled(doc)
-			leases[i] = &PageLease{page: page, arena: arena}
+			// The lease owns the arena from this point: if the render below
+			// panics (cancellation or a bug), the deferred sweep above
+			// recycles it.  RenderPooledCancel recycles its own scratch on
+			// panic, so the page is only attached once fully built.
+			leases[i] = &PageLease{arena: arena}
+			page = layout.RenderPooledCancel(doc, opt.cancel)
+			leases[i].page = page
 		} else {
-			page = layout.Render(htmlparse.Parse(sp.HTML)) // step 1
+			page = layout.RenderCancel(htmlparse.Parse(sp.HTML), opt.cancel) // step 1
 		}
 		renderSp.AddSince(t0)
 		t0 = mreSp.Begin()
@@ -234,6 +261,7 @@ func analyzePages(samples []*SamplePage, opt Options, parent *obs.Span, pooled b
 	granSp := parent.Child(obs.StepGranularity)
 	out := make([]*cluster.PageSections, len(samples))
 	par.ForEachIndex(len(inputs), workers, func(i int) {
+		opt.cancel.Check()
 		in := inputs[i]
 		var sections []*sect.Section
 		if opt.DisableRefine {
@@ -309,10 +337,14 @@ func (ew *EngineWrapper) Extract(html string, query []string) []*Section {
 // ExtractLeased call.  Releasing it returns both to their pools; callers
 // must do so only once they no longer reference the page.  The extracted
 // sections themselves are plain strings and ints and always outlive the
-// lease.  A nil lease is valid and Release is idempotent.
+// lease.  A nil lease is valid and Release is idempotent — including under
+// concurrent calls, so a deferred release racing a panic-path release can
+// never return an arena to the pool twice.
 type PageLease struct {
 	page  *layout.Page
 	arena *dom.Arena
+	// released flips exactly once; the loser of the CAS does nothing.
+	released atomic.Bool
 }
 
 // Page returns the rendered page backing the extraction.  It becomes
@@ -325,8 +357,10 @@ func (l *PageLease) Page() *layout.Page {
 }
 
 // Release returns the lease's arena and render scratch to their pools.
+// Only the first call (across all goroutines) releases; the rest are
+// no-ops.
 func (l *PageLease) Release() {
-	if l == nil {
+	if l == nil || !l.released.CompareAndSwap(false, true) {
 		return
 	}
 	if l.page != nil {
@@ -352,7 +386,7 @@ func (ew *EngineWrapper) ExtractLeased(html string, query []string) ([]*Section,
 	doc, arena := htmlparse.ParsePooled(html)
 	page := layout.RenderPooled(doc)
 	renderSp.AddSince(t0)
-	sections := ew.extractFromPage(page, query, root)
+	sections := ew.extractFromPage(page, query, root, ew.opt.Wrapper)
 	return sections, &PageLease{page: page, arena: arena}
 }
 
@@ -360,11 +394,14 @@ func (ew *EngineWrapper) ExtractLeased(html string, query []string) ([]*Section,
 func (ew *EngineWrapper) ExtractFromPage(page *layout.Page, query []string) []*Section {
 	root := ew.opt.Obs.Start(obs.RootExtract)
 	defer root.End()
-	return ew.extractFromPage(page, query, root)
+	return ew.extractFromPage(page, query, root, ew.opt.Wrapper)
 }
 
-func (ew *EngineWrapper) extractFromPage(page *layout.Page, query []string, span *obs.Span) []*Section {
-	opt := ew.opt.Wrapper
+// extractFromPage applies every wrapper and family to the page.  opt is
+// passed explicitly (rather than read from ew) so the ctx entry points can
+// install a per-call cancellation token without mutating the shared
+// EngineWrapper.
+func (ew *EngineWrapper) extractFromPage(page *layout.Page, query []string, span *obs.Span, opt wrapper.Options) []*Section {
 	var all []*Section
 	wrapSp := span.Child(obs.StepWrapper)
 	t0 := wrapSp.Begin()

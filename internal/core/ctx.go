@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mse/internal/cancel"
+	"mse/internal/htmlparse"
+	"mse/internal/layout"
+	"mse/internal/obs"
+)
+
+// ErrCanceled is returned (wrapped, carrying the context's own error) by
+// the ctx-accepting entry points when the context is canceled or its
+// deadline expires while the pipeline is running.  Test with
+// errors.Is(err, core.ErrCanceled); the context cause is reachable through
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded as usual.
+var ErrCanceled = errors.New("core: canceled")
+
+// canceledErr wraps ErrCanceled with the context's cause.
+func canceledErr(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, cause)
+	}
+	// The token fired but the context has no recorded cause (it raced a
+	// cancel that has not propagated its err yet); report plain
+	// cancellation.
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Canceled)
+}
+
+// withCancel returns a copy of opt with the token installed at every
+// pipeline checkpoint site: the page renders of steps 1, the cluster score
+// matrix of step 7 (which reaches the tree-edit-distance DP), and wrapper
+// application.
+func (o Options) withCancel(tok *cancel.Token) Options {
+	o.cancel = tok
+	o.Cluster.Cancel = tok
+	o.Wrapper.Cancel = tok
+	return o
+}
+
+// recoverCanceled converts a cancellation signal unwinding the stack into
+// *err = canceledErr(ctx); any other panic value is re-raised.  It must be
+// deferred by exactly the function that derived the token from ctx.
+func recoverCanceled(ctx context.Context, err *error) {
+	if r := recover(); r != nil {
+		if cancel.IsSignal(r) {
+			*err = canceledErr(ctx)
+			return
+		}
+		panic(r)
+	}
+}
+
+// BuildWrapperCtx is BuildWrapper honouring ctx: the pipeline polls the
+// context at its long-loop checkpoints (render walk, tree-edit-distance
+// DP, cluster score matrix) and aborts with an error satisfying
+// errors.Is(err, ErrCanceled) once ctx is done.  All pooled memory leased
+// during the aborted run is returned to the pools.  With a
+// non-cancellable ctx this is exactly BuildWrapper.
+func BuildWrapperCtx(ctx context.Context, samples []*SamplePage, opt Options) (ew *EngineWrapper, err error) {
+	tok := cancel.FromContext(ctx)
+	if tok == nil {
+		return BuildWrapper(samples, opt)
+	}
+	defer recoverCanceled(ctx, &err)
+	ew, err = BuildWrapper(samples, opt.withCancel(tok))
+	if err != nil {
+		return nil, err
+	}
+	// Strip the per-call token: the wrapper outlives this call and later
+	// plain Extracts must not observe a dead context.
+	ew.opt = opt
+	return ew, nil
+}
+
+// ExtractCtx is Extract honouring ctx; see BuildWrapperCtx for the
+// cancellation contract.
+func (ew *EngineWrapper) ExtractCtx(ctx context.Context, html string, query []string) ([]*Section, error) {
+	sections, lease, err := ew.ExtractLeasedCtx(ctx, html, query)
+	lease.Release()
+	return sections, err
+}
+
+// ExtractLeasedCtx is ExtractLeased honouring ctx.  On cancellation (or
+// any panic) every pooled resource acquired for the call is released
+// before the function returns, and the returned lease is nil.  On success
+// the caller owns the lease exactly as with ExtractLeased.
+func (ew *EngineWrapper) ExtractLeasedCtx(ctx context.Context, html string, query []string) (sections []*Section, lease *PageLease, err error) {
+	tok := cancel.FromContext(ctx)
+	if tok == nil {
+		s, l := ew.ExtractLeased(html, query)
+		return s, l, nil
+	}
+	root := ew.opt.Obs.Start(obs.RootExtract)
+	defer root.End()
+	// The lease exists before any pooled acquisition so that the deferred
+	// release below covers every partial state: arena acquired but render
+	// panicked (page still nil — RenderPooledCancel recycles its own
+	// scratch on the way out), or both acquired but Apply panicked.
+	lease = &PageLease{}
+	defer func() {
+		if r := recover(); r != nil {
+			lease.Release()
+			lease = nil
+			sections = nil
+			if cancel.IsSignal(r) {
+				err = canceledErr(ctx)
+				return
+			}
+			panic(r)
+		}
+	}()
+	renderSp := root.Child(obs.StepRender)
+	t0 := renderSp.Begin()
+	doc, arena := htmlparse.ParsePooled(html)
+	lease.arena = arena
+	lease.page = layout.RenderPooledCancel(doc, tok)
+	renderSp.AddSince(t0)
+	wopt := ew.opt.Wrapper
+	wopt.Cancel = tok
+	sections = ew.extractFromPage(lease.page, query, root, wopt)
+	return sections, lease, nil
+}

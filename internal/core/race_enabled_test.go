@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions scale their budgets by its (roughly order-of-magnitude)
+// slowdown.
+const raceEnabled = true

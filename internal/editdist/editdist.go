@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mse/internal/cancel"
 	"mse/internal/dom"
 )
 
@@ -166,6 +167,16 @@ func nodeLabel(n *dom.Node) string {
 // the subtrees rooted at t1 and t2 with unit costs on relabel/insert/
 // delete.  Labels are tag names (all text nodes share one label).
 func TreeEditDistance(t1, t2 *dom.Node) int {
+	return TreeEditDistanceCancel(t1, t2, nil)
+}
+
+// TreeEditDistanceCancel is TreeEditDistance with a cooperative
+// cancellation checkpoint in the dynamic program: the Zhang-Shasha outer
+// (key-root pair) loop polls tok once per forest-distance block, so a
+// canceled context aborts even a single pathological tree pair within one
+// block's work rather than after the full O(n²m²) program.  A nil token
+// compiles the checkpoints down to pointer comparisons.
+func TreeEditDistanceCancel(t1, t2 *dom.Node, tok *cancel.Token) int {
 	treeCalls.Add(1)
 	if t1 == nil && t2 == nil {
 		return 0
@@ -189,6 +200,7 @@ func TreeEditDistance(t1, t2 *dom.Node) int {
 		fd[i] = make([]int, m+1)
 	}
 	for _, i := range a.keys {
+		tok.Check()
 		for _, j := range b.keys {
 			li, lj := a.lmld[i], b.lmld[j]
 			fd[li][lj] = 0
@@ -199,6 +211,7 @@ func TreeEditDistance(t1, t2 *dom.Node) int {
 				fd[li][dj+1] = fd[li][dj] + 1
 			}
 			for di := li; di <= i; di++ {
+				tok.Check()
 				for dj := lj; dj <= j; dj++ {
 					if a.lmld[di] == li && b.lmld[dj] == lj {
 						cost := 1
@@ -240,6 +253,13 @@ func TreeEditDistance(t1, t2 *dom.Node) int {
 // answered by label comparison, and every dynamic-program result is cached
 // so structurally repeated subtrees are never re-measured.
 func TreeDist(t1, t2 *dom.Node) float64 {
+	return TreeDistCancel(t1, t2, nil)
+}
+
+// TreeDistCancel is TreeDist threading a cancellation token into the
+// underlying dynamic program (see TreeEditDistanceCancel).  Cache lookups
+// stay checkpoint-free — they are O(1) — so only cache misses poll.
+func TreeDistCancel(t1, t2 *dom.Node, tok *cancel.Token) float64 {
 	if t1 == nil && t2 == nil {
 		return 0
 	}
@@ -254,7 +274,7 @@ func TreeDist(t1, t2 *dom.Node) float64 {
 		if maxSize == 0 {
 			return 0
 		}
-		return float64(TreeEditDistance(t1, t2)) / float64(maxSize)
+		return float64(TreeEditDistanceCancel(t1, t2, tok)) / float64(maxSize)
 	}
 	f1, f2 := t1.Fingerprint(), t2.Fingerprint()
 	cache.lookups.Add(1)
@@ -278,7 +298,7 @@ func TreeDist(t1, t2 *dom.Node) float64 {
 		return v
 	}
 	cache.misses.Add(1)
-	v := float64(TreeEditDistance(t1, t2)) / float64(maxSize)
+	v := float64(TreeEditDistanceCancel(t1, t2, tok)) / float64(maxSize)
 	cache.put(k, v)
 	return v
 }
@@ -288,6 +308,12 @@ func TreeDist(t1, t2 *dom.Node) float64 {
 // the normalized tree edit distance — normalized by the length of the
 // longer list.  It lies in [0, 1].
 func ForestDist(f1, f2 []*dom.Node) float64 {
+	return ForestDistCancel(f1, f2, nil)
+}
+
+// ForestDistCancel is ForestDist threading a cancellation token into every
+// pairwise tree distance of the substitution cost model.
+func ForestDistCancel(f1, f2 []*dom.Node, tok *cancel.Token) float64 {
 	maxLen := len(f1)
 	if len(f2) > maxLen {
 		maxLen = len(f2)
@@ -296,7 +322,7 @@ func ForestDist(f1, f2 []*dom.Node) float64 {
 		return 0
 	}
 	d := Strings(len(f1), len(f2), Costs{
-		Sub: func(i, j int) float64 { return TreeDist(f1[i], f2[j]) },
+		Sub: func(i, j int) float64 { return TreeDistCancel(f1[i], f2[j], tok) },
 		Del: func(int) float64 { return 1 },
 		Ins: func(int) float64 { return 1 },
 	})

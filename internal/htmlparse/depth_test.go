@@ -1,0 +1,79 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+
+	"mse/internal/dom"
+	"mse/internal/layout"
+)
+
+// treeDepth computes the maximum node depth iteratively (the whole point
+// is that the tree may be deeper than the test goroutine's stack budget if
+// the cap regresses).
+func treeDepth(root *dom.Node) int {
+	type frame struct {
+		n *dom.Node
+		d int
+	}
+	max := 0
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.d > max {
+			max = f.d
+		}
+		for c := f.n.FirstChild; c != nil; c = c.NextSibling {
+			stack = append(stack, frame{c, f.d + 1})
+		}
+	}
+	return max
+}
+
+// TestParseDepthCapped: a page of a million nested divs — within the 8 MB
+// request budget — must parse into a tree of bounded depth and render
+// without exhausting the stack.  Guards the maxOpenDepth cap.
+func TestParseDepthCapped(t *testing.T) {
+	const nested = 1_000_000
+	var b strings.Builder
+	b.Grow(nested*5 + 64)
+	b.WriteString("<html><body>")
+	for i := 0; i < nested; i++ {
+		b.WriteString("<div>")
+	}
+	b.WriteString("deep text")
+	// Unclosed on purpose: closing tags change nothing for the cap and a
+	// truncated page is the likelier hostile input.
+	doc := Parse(b.String())
+
+	if d := treeDepth(doc); d > maxOpenDepth+8 {
+		t.Fatalf("tree depth = %d, want <= %d", d, maxOpenDepth+8)
+	}
+	page := layout.Render(doc)
+	found := false
+	for i := range page.Lines {
+		if strings.Contains(page.Lines[i].Text, "deep text") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("content inside the capped region was dropped")
+	}
+}
+
+// TestParseDepthCapKeepsSiblings: elements past the cap still appear in
+// the tree (flat), so no content is lost.
+func TestParseDepthCapKeepsSiblings(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	for i := 0; i < maxOpenDepth+40; i++ {
+		b.WriteString("<div>")
+	}
+	b.WriteString("<p>a</p><p>b</p>")
+	doc := Parse(b.String())
+	text := doc.TextContent()
+	if !strings.Contains(text, "a") || !strings.Contains(text, "b") {
+		t.Fatalf("content past the depth cap lost: %q", text)
+	}
+}

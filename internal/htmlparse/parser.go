@@ -95,6 +95,15 @@ func ParsePooled(src string) (*dom.Node, *dom.Arena) {
 }
 
 func parseWith(src string, arena *dom.Arena) (*dom.Node, *dom.Arena) {
+	// A panic mid-parse must not leak the pooled arena: nothing can
+	// reference the half-built tree after unwinding, so recycle it before
+	// re-panicking.
+	defer func() {
+		if r := recover(); r != nil {
+			arena.Release()
+			panic(r)
+		}
+	}()
 	p := &parser{arena: arena}
 	p.doc = p.newNode(dom.DocumentNode)
 	p.stack = []*dom.Node{p.doc}
@@ -277,11 +286,24 @@ func isFormatting(tag string) bool {
 	return false
 }
 
+// maxOpenDepth caps the open-element stack, as browsers do.  Beyond the
+// cap a new element is appended flat at the cap level instead of deepening
+// the tree: the 8 MB request-body budget admits ~1.6 million nested divs,
+// and an unbounded tree forces the downstream recursive consumers (the
+// render walk, dom.Walk, path extraction) to grow hundreds of megabytes of
+// goroutine stack per request.  Real result pages nest a few dozen levels.
+const maxOpenDepth = 512
+
 func (p *parser) push(tag string, attrs []dom.Attr) {
 	n := p.newNode(dom.ElementNode)
 	n.Tag = tag
 	n.Attrs = attrs
 	p.top().AppendChild(n)
+	if len(p.stack) >= maxOpenDepth {
+		// At the cap the element still exists (flat), but children that
+		// follow attach to the capped ancestor, bounding tree depth.
+		return
+	}
 	p.stack = append(p.stack, n)
 }
 

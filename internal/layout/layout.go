@@ -22,6 +22,7 @@ package layout
 import (
 	"sync"
 
+	"mse/internal/cancel"
 	"mse/internal/dom"
 )
 
@@ -238,7 +239,15 @@ func (p *Page) SectionRoot(start, end int) *dom.Node {
 // allocations are batched through a fresh scratch that is reclaimed by the
 // garbage collector along with the page.
 func Render(doc *dom.Node) *Page {
-	return renderWith(doc, new(renderScratch), false)
+	return renderWith(doc, new(renderScratch), false, nil)
+}
+
+// RenderCancel is Render polling a cancellation token every checkpointStride
+// nodes of the DOM walk, so rendering a pathological page aborts promptly
+// when the caller's context is canceled (the walk panics with
+// cancel.Signal; the boundary that created the token recovers it).
+func RenderCancel(doc *dom.Node, tok *cancel.Token) *Page {
+	return renderWith(doc, new(renderScratch), false, tok)
 }
 
 // RenderPooled is Render with the scratch drawn from a process-wide pool;
@@ -246,13 +255,21 @@ func Render(doc *dom.Node) *Page {
 // or anything reachable from it.  When arenas are disabled (see
 // dom.SetArenasEnabled) it degrades to Render.
 func RenderPooled(doc *dom.Node) *Page {
-	if !dom.ArenasEnabled() {
-		return Render(doc)
-	}
-	return renderWith(doc, acquireScratch(), true)
+	return RenderPooledCancel(doc, nil)
 }
 
-func renderWith(doc *dom.Node, sc *renderScratch, pooled bool) *Page {
+// RenderPooledCancel is RenderPooled with the cancellation behaviour of
+// RenderCancel.  When the walk unwinds — through cancellation or any other
+// panic — the pooled scratch is recycled before the panic continues, so an
+// aborted render can never leak a scratch out of the pool.
+func RenderPooledCancel(doc *dom.Node, tok *cancel.Token) *Page {
+	if !dom.ArenasEnabled() {
+		return renderWith(doc, new(renderScratch), false, tok)
+	}
+	return renderWith(doc, acquireScratch(), true, tok)
+}
+
+func renderWith(doc *dom.Node, sc *renderScratch, pooled bool, tok *cancel.Token) *Page {
 	sc.ensure(doc.Size())
 	page := &Page{
 		Doc:     doc,
@@ -262,7 +279,24 @@ func renderWith(doc *dom.Node, sc *renderScratch, pooled bool) *Page {
 		scratch: sc,
 		pooled:  pooled,
 	}
-	r := &renderer{page: page, sheet: collectStylesheet(doc), sc: sc}
+	if pooled {
+		// A panic mid-walk (a cancellation checkpoint firing, or a renderer
+		// bug) unwinds before the page can be returned, so nothing can ever
+		// reference the scratch again: recycle it on the way out instead of
+		// leaking it to the garbage collector.
+		defer func() {
+			if r := recover(); r != nil {
+				page.Release()
+				panic(r)
+			}
+		}()
+	}
+	// An already-fired token aborts before any work: the walk's stride-256
+	// checkpoints may never trigger on a small page, but a dead context
+	// must abort the render regardless of page size.  Checked only after
+	// the recovery defer above is armed, so the pooled scratch cannot leak.
+	tok.Check()
+	r := &renderer{page: page, sheet: collectStylesheet(doc), sc: sc, tok: tok}
 	ctx := context{
 		x:     bodyMarginX,
 		width: pageWidth - 2*bodyMarginX,
@@ -297,7 +331,25 @@ const (
 	pageWidth   = 800
 	bodyMarginX = 8
 	indentStep  = 40 // ul/ol/blockquote/dd indentation
+
+	// checkpointStride is how many DOM nodes the render walk visits between
+	// cancellation polls: coarse enough that the poll cost vanishes, fine
+	// enough that even a million-node page notices cancellation within a
+	// few microseconds of work.
+	checkpointStride = 256
 )
+
+// checkpoint polls the cancellation token every checkpointStride visited
+// nodes; without a token it is two compares.
+func (r *renderer) checkpoint() {
+	if r.tok == nil {
+		return
+	}
+	if r.steps++; r.steps >= checkpointStride {
+		r.steps = 0
+		r.tok.Check()
+	}
+}
 
 func defaultAttr() TextAttr {
 	return TextAttr{Font: "times", Size: 16, Color: "#000000"}
@@ -319,6 +371,11 @@ type renderer struct {
 	page  *Page
 	sheet *stylesheet
 	sc    *renderScratch
+
+	// tok, when non-nil, is polled every checkpointStride visited nodes;
+	// steps is the visit counter backing that stride.
+	tok   *cancel.Token
+	steps int
 
 	lineX   int
 	started bool

@@ -37,6 +37,7 @@ var headingSizes = map[string]int{
 
 // walk traverses the DOM emitting content lines.
 func (r *renderer) walk(n *dom.Node, ctx context) {
+	r.checkpoint()
 	switch n.Type {
 	case dom.TextNode:
 		t := appendCollapsed(r.sc.collapse[:0], n.Data)

@@ -7,7 +7,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -21,11 +23,34 @@ func Workers(n int) int {
 	return n
 }
 
+// WorkerPanic is re-raised on the caller's goroutine when fn panics inside
+// a worker.  It preserves the original panic value (Unwrap) and the
+// worker's stack at the point of the panic, which the recovering boundary
+// logs — the re-raise stack alone would only show ForEachIndex.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+// Unwrap returns the original panic value.  cancel.IsSignal uses it to
+// recognize a cooperative-cancellation unwind crossing the pool boundary.
+func (w WorkerPanic) Unwrap() any { return w.Value }
+
+func (w WorkerPanic) String() string {
+	return fmt.Sprintf("panic in parallel worker: %v", w.Value)
+}
+
 // ForEachIndex invokes fn(i) for every i in [0, n), spreading the indices
 // over at most workers goroutines.  With workers <= 1 (or a single item) it
 // degenerates to a plain loop on the caller's goroutine, so the serial and
 // parallel paths execute the same fn calls in the same per-index order.
 // fn must be safe for concurrent invocation on distinct indices.
+//
+// A panic inside fn does not crash the process: the pool stops handing out
+// new indices, waits for the running calls to return, and re-raises the
+// first panic on the caller's goroutine wrapped in WorkerPanic.  By the
+// time the panic propagates to the caller no worker is running, so the
+// caller's deferred cleanup may safely release resources fn was using.
 func ForEachIndex(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -39,13 +64,28 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		panicMu sync.Mutex
+		first   *WorkerPanic
+		wg      sync.WaitGroup
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			defer func() {
+				if r := recover(); r != nil {
+					stop.Store(true)
+					panicMu.Lock()
+					if first == nil {
+						first = &WorkerPanic{Value: r, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for !stop.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -55,4 +95,7 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if first != nil {
+		panic(*first)
+	}
 }

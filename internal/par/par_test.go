@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -29,6 +30,56 @@ func TestForEachIndexCoversAllIndices(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestForEachIndexPropagatesWorkerPanic(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		var calls atomic.Int32
+		var recovered any
+		func() {
+			defer func() { recovered = recover() }()
+			ForEachIndex(100, workers, func(i int) {
+				calls.Add(1)
+				if i == 3 {
+					panic("boom")
+				}
+				// Give the panicking worker time to set the stop flag, so
+				// the early-exit below is deterministic rather than a race
+				// against trivially fast items.
+				time.Sleep(time.Millisecond)
+			})
+		}()
+		wp, ok := recovered.(WorkerPanic)
+		if !ok {
+			t.Fatalf("workers=%d: recovered %T %v, want WorkerPanic", workers, recovered, recovered)
+		}
+		if wp.Unwrap() != "boom" {
+			t.Fatalf("workers=%d: panic value %v, want boom", workers, wp.Unwrap())
+		}
+		if len(wp.Stack) == 0 {
+			t.Fatalf("workers=%d: worker stack not captured", workers)
+		}
+		// The pool must stop handing out indices after the panic: with 100
+		// items and an early panic, far fewer than 100 calls should run
+		// (each live worker can finish at most its current item plus the
+		// ones it grabbed before observing stop).
+		if got := calls.Load(); got == 100 {
+			t.Fatalf("workers=%d: all 100 items ran despite early panic", workers)
+		}
+	}
+}
+
+func TestForEachIndexSerialPanicPassesThrough(t *testing.T) {
+	// The serial path (workers=1) runs on the caller's goroutine; the panic
+	// value must arrive unwrapped, exactly as a plain loop would deliver it.
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		ForEachIndex(5, 1, func(i int) { panic("serial") })
+	}()
+	if recovered != "serial" {
+		t.Fatalf("recovered %v, want serial", recovered)
 	}
 }
 

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"time"
+)
+
+// errShed is returned by limiter.acquire when the queue-wait budget
+// expires before a slot frees: the request is shed with 429.
+var errShed = errors.New("serve: at capacity")
+
+// limiter is the admission controller for /extract: a counting semaphore
+// with a bounded queue wait.  A request either gets an extraction slot
+// within the timeout or is shed, so a burst can never pile up unbounded
+// goroutines all parsing 8 MB pages at once.  The nil limiter admits
+// everything (admission control disabled).
+type limiter struct {
+	slots   chan struct{}
+	timeout time.Duration
+}
+
+// newLimiter returns a limiter with max concurrent slots and the given
+// queue-wait budget; nil when max <= 0.
+func newLimiter(max int, timeout time.Duration) *limiter {
+	if max <= 0 {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &limiter{slots: make(chan struct{}, max), timeout: timeout}
+}
+
+// acquire obtains a slot, waiting up to the queue timeout.  It reports how
+// long the caller queued and, on failure, errShed (budget expired) or the
+// context's error (client gone while queued).  Every successful acquire
+// must be paired with exactly one release.
+func (l *limiter) acquire(ctx context.Context) (time.Duration, error) {
+	if l == nil {
+		return 0, nil
+	}
+	// Fast path: free slot, no timer allocation.
+	select {
+	case l.slots <- struct{}{}:
+		return 0, nil
+	default:
+	}
+	start := time.Now()
+	t := time.NewTimer(l.timeout)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return time.Since(start), nil
+	case <-t.C:
+		return time.Since(start), errShed
+	case <-ctx.Done():
+		return time.Since(start), ctx.Err()
+	}
+}
+
+// release frees a slot obtained by a successful acquire.
+func (l *limiter) release() {
+	if l != nil {
+		<-l.slots
+	}
+}
+
+// retryAfter is the Retry-After header value sent with 429 responses: the
+// queue timeout rounded up to whole seconds (minimum 1), i.e. roughly when
+// the currently queued work will have drained or been shed.
+func (l *limiter) retryAfter() string {
+	if l == nil {
+		return "1"
+	}
+	secs := int((l.timeout + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

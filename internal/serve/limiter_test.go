@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLimiterSheds is the acceptance scenario for admission control: with
+// -max-inflight=1 and a short queue timeout, a second concurrent request
+// is shed with 429 and a Retry-After header once its queue wait expires,
+// and the first request completes normally.
+func TestLimiterSheds(t *testing.T) {
+	reg, eng := testRegistry(t)
+	reg.SetLimits(1, 50*time.Millisecond)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	extractTestHook = func(string) {
+		close(entered)
+		<-block
+	}
+	defer func() { extractTestHook = nil }()
+
+	html := eng.Page(21).HTML
+	firstDone := make(chan error, 1)
+	var firstStatus int
+	go func() {
+		resp, err := http.Post(srv.URL+"/extract?engine=demo", "text/html", strings.NewReader(html))
+		if err == nil {
+			firstStatus = resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		firstDone <- err
+	}()
+
+	// Wait until the first request holds the extraction slot.
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the extraction hook")
+	}
+
+	// The second request queues for ~50ms, then is shed.
+	start := time.Now()
+	resp, err := http.Post(srv.URL+"/extract?engine=demo", "text/html", strings.NewReader(html))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	if wait := time.Since(start); wait < 40*time.Millisecond {
+		t.Fatalf("shed after %v, want at least the ~50ms queue timeout", wait)
+	}
+	if got := reg.metrics.shed.Value(); got != 1 {
+		t.Fatalf("shed_total = %d, want 1", got)
+	}
+	// Shedding is the server's condition, not the engine's.
+	if got := reg.metrics.engine("demo").errors.Value(); got != 0 {
+		t.Fatalf("engine errors = %d, want 0", got)
+	}
+
+	// Release the first request; it must complete successfully.
+	close(block)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if firstStatus != http.StatusOK {
+		t.Fatalf("first request status = %d, want 200", firstStatus)
+	}
+}
+
+// TestLimiterAdmitsAfterRelease: once the slot frees within the queue
+// budget, a queued request is admitted rather than shed.
+func TestLimiterAdmitsAfterRelease(t *testing.T) {
+	reg, eng := testRegistry(t)
+	reg.SetLimits(1, 2*time.Second)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	hooked := false
+	extractTestHook = func(string) {
+		if !hooked {
+			hooked = true
+			close(entered)
+			<-block
+		}
+	}
+	defer func() { extractTestHook = nil }()
+
+	html := eng.Page(22).HTML
+	go func() {
+		resp, err := http.Post(srv.URL+"/extract?engine=demo", "text/html", strings.NewReader(html))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	// Free the slot shortly after the second request starts queueing.
+	time.AfterFunc(30*time.Millisecond, func() { close(block) })
+	resp, err := http.Post(srv.URL+"/extract?engine=demo", "text/html", strings.NewReader(html))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued request status = %d, want 200", resp.StatusCode)
+	}
+	if got := reg.metrics.shed.Value(); got != 0 {
+		t.Fatalf("shed_total = %d, want 0", got)
+	}
+}
+
+// TestLimiterClientGoneWhileQueued: a request whose context dies while it
+// waits for a slot is counted canceled, not shed and not an engine error.
+func TestLimiterClientGoneWhileQueued(t *testing.T) {
+	reg, eng := testRegistry(t)
+	reg.SetLimits(1, 5*time.Second)
+
+	// Occupy the only slot directly.
+	if _, err := reg.limiter.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.limiter.release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	req := httptest.NewRequest(http.MethodPost, "/extract?engine=demo",
+		strings.NewReader(eng.Page(23).HTML)).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, req)
+
+	if rr.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d; body %s", rr.Code, statusClientClosedRequest, rr.Body.String())
+	}
+	if got := reg.metrics.canceled.Value(); got != 1 {
+		t.Fatalf("canceled_total = %d, want 1", got)
+	}
+	if got := reg.metrics.shed.Value(); got != 0 {
+		t.Fatalf("shed_total = %d, want 0", got)
+	}
+}

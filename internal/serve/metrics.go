@@ -26,6 +26,18 @@ type Metrics struct {
 	inFlight *obs.Gauge
 	requests *obs.Counter
 	errors   *obs.Counter
+	// Fault-tolerance counters (§10 of DESIGN.md): recovered handler
+	// panics, requests shed by admission control, and requests abandoned
+	// because the client vanished or the deadline expired.
+	panics   *obs.Counter
+	shed     *obs.Counter
+	canceled *obs.Counter
+	// extractInFlight counts requests holding an extraction slot (distinct
+	// from inFlight, which counts every HTTP request including /metrics
+	// scrapes); queueWait is how long admitted /extract requests waited
+	// for their slot.
+	extractInFlight *obs.Gauge
+	queueWait       *obs.Histogram
 
 	mu      sync.Mutex
 	engines map[string]*engineMetrics
@@ -43,12 +55,17 @@ type engineMetrics struct {
 func NewMetrics() *Metrics {
 	reg := obs.NewRegistry()
 	return &Metrics{
-		start:    time.Now(),
-		reg:      reg,
-		inFlight: reg.Gauge("http.in_flight"),
-		requests: reg.Counter("http.requests_total"),
-		errors:   reg.Counter("http.errors_total"),
-		engines:  map[string]*engineMetrics{},
+		start:           time.Now(),
+		reg:             reg,
+		inFlight:        reg.Gauge("http.in_flight"),
+		requests:        reg.Counter("http.requests_total"),
+		errors:          reg.Counter("http.errors_total"),
+		panics:          reg.Counter("http.panics_total"),
+		shed:            reg.Counter("http.shed_total"),
+		canceled:        reg.Counter("http.canceled_total"),
+		extractInFlight: reg.Gauge("extract.in_flight"),
+		queueWait:       reg.Histogram("extract.queue_wait", nil),
+		engines:         map[string]*engineMetrics{},
 	}
 }
 
@@ -144,6 +161,8 @@ func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism in
 	fmt.Fprintf(w, "uptime:    %s\n", m.Uptime().Round(time.Second))
 	fmt.Fprintf(w, "in-flight: %d\n", m.InFlight())
 	fmt.Fprintf(w, "requests:  %d\n", m.requests.Value())
+	fmt.Fprintf(w, "faults: panics=%d shed=%d canceled=%d extract-in-flight=%d\n",
+		m.panics.Value(), m.shed.Value(), m.canceled.Value(), m.extractInFlight.Value())
 	if parallelism <= 0 {
 		fmt.Fprintf(w, "parallelism: GOMAXPROCS (%d)\n", runtime.GOMAXPROCS(0))
 	} else {

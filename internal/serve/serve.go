@@ -19,11 +19,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -45,6 +48,7 @@ type Registry struct {
 	opts     core.Options
 	metrics  *Metrics
 	log      *slog.Logger
+	limiter  *limiter
 }
 
 // NewRegistry returns an empty registry using the given pipeline options
@@ -63,6 +67,14 @@ func (r *Registry) Metrics() *Metrics { return r.metrics }
 // SetAccessLog installs a structured access logger; nil disables logging
 // (the default).
 func (r *Registry) SetAccessLog(l *slog.Logger) { r.log = l }
+
+// SetLimits configures admission control for /extract: at most maxInflight
+// extractions run concurrently, and a request waits at most queueTimeout
+// for a slot before being shed with 429 and a Retry-After header.
+// maxInflight <= 0 disables admission control.  Call before Handler.
+func (r *Registry) SetLimits(maxInflight int, queueTimeout time.Duration) {
+	r.limiter = newLimiter(maxInflight, queueTimeout)
+}
 
 // Add registers (or replaces) a wrapper under the given engine name.
 func (r *Registry) Add(name string, data []byte) error {
@@ -140,26 +152,69 @@ func (r *Registry) Handler() http.Handler {
 		r.metrics.writeStatusz(w, r.Names(), r.opts.Parallelism)
 	})
 	mux.HandleFunc("/extract", r.handleExtract)
-	return r.instrument(mux)
+	return r.instrument(r.recoverer(mux))
 }
 
 // statusWriter captures the response status and byte count for metrics
-// and the access log.
+// and the access log, and whether the header went out — which decides
+// whether the panic recoverer can still send a JSON 500.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int64
+	status      int
+	bytes       int64
+	wroteHeader bool
 }
 
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
+	w.wroteHeader = true
 	w.ResponseWriter.WriteHeader(status)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wroteHeader = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// recoverer wraps h so a panicking handler takes down one request, not the
+// process: the panic is logged with its stack, panics_total increments,
+// and — when the response header has not gone out yet — the client gets a
+// JSON 500.  http.ErrAbortHandler passes through untouched (it is the
+// sanctioned way to abort a response and is suppressed by net/http).
+// Layered inside instrument, so the recoverer sees instrument's
+// statusWriter and the aborted request still produces an access-log line
+// and metrics.
+func (r *Registry) recoverer(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			r.metrics.panics.Inc()
+			logger := r.log
+			if logger == nil {
+				logger = slog.Default()
+			}
+			logger.Error("handler panic",
+				"method", req.Method,
+				"path", req.URL.Path,
+				"engine", req.URL.Query().Get("engine"),
+				"panic", fmt.Sprint(rec),
+				"stack", string(debug.Stack()),
+			)
+			if sw, ok := w.(*statusWriter); !ok || !sw.wroteHeader {
+				writeError(w, http.StatusInternalServerError,
+					req.URL.Query().Get("engine"), "internal error")
+			}
+		}()
+		h.ServeHTTP(w, req)
+	})
 }
 
 // instrument wraps h with the in-flight gauge, the total request counter
@@ -196,6 +251,18 @@ func writeError(w http.ResponseWriter, status int, engine, msg string) {
 	writeJSON(w, status, errorJSON{Error: msg, Engine: engine})
 }
 
+// statusClientClosedRequest is nginx's 499 "client closed request": the
+// client vanished (canceled, disconnected) before the response; nobody
+// will read the body, but the status keeps access logs and metrics honest.
+const statusClientClosedRequest = 499
+
+// extractTestHook, when non-nil, runs after the extraction lease is
+// acquired and before the response is built.  Tests install a panicking
+// hook to prove the recovery middleware turns a mid-request panic into a
+// JSON 500 without leaking the lease, or a blocking hook to hold an
+// admission slot open.
+var extractTestHook func(engine string)
+
 func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	name := req.URL.Query().Get("engine")
 	if req.Method != http.MethodPost {
@@ -218,10 +285,40 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	}
 	em := r.metrics.engine(name)
 	em.requests.Inc()
+
+	// Admission control: get an extraction slot before touching the body,
+	// so a shed request costs neither an 8 MB read nor pooled memory.
+	wait, err := r.limiter.acquire(req.Context())
+	r.metrics.queueWait.Observe(wait)
+	if err != nil {
+		if errors.Is(err, errShed) {
+			r.metrics.shed.Inc()
+			w.Header().Set("Retry-After", r.limiter.retryAfter())
+			writeError(w, http.StatusTooManyRequests, name, "server at capacity, retry later")
+		} else {
+			// Client gone (or deadline up) while queued: its problem, not
+			// the engine's — per-engine error counters stay clean.
+			r.metrics.canceled.Inc()
+			writeError(w, statusClientClosedRequest, name, "request canceled while queued")
+		}
+		return
+	}
+	defer r.limiter.release()
+	r.metrics.extractInFlight.Add(1)
+	defer r.metrics.extractInFlight.Add(-1)
+
 	buf := bodyPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bodyPool.Put(buf)
 	if _, err := buf.ReadFrom(io.LimitReader(req.Body, MaxPageBytes+1)); err != nil {
+		// Distinguish a vanished client from a malformed request: only the
+		// latter is an engine-attributed error.  A dead request context (or
+		// a body cut off mid-chunk) means the client hung up on us.
+		if req.Context().Err() != nil || errors.Is(err, io.ErrUnexpectedEOF) {
+			r.metrics.canceled.Inc()
+			writeError(w, statusClientClosedRequest, name, "client disconnected during body read")
+			return
+		}
 		em.errors.Inc()
 		r.metrics.errors.Inc()
 		writeError(w, http.StatusBadRequest, name, "reading body: "+err.Error())
@@ -244,8 +341,33 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	html := buf.String()
 
 	start := time.Now()
-	sections, lease := ew.ExtractLeased(html, query)
+	sections, lease, err := ew.ExtractLeasedCtx(req.Context(), html, query)
 	em.latency.Observe(time.Since(start))
+	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			// The pipeline aborted cooperatively; every pooled resource is
+			// already back (ExtractLeasedCtx releases on the way out).
+			r.metrics.canceled.Inc()
+			if errors.Is(req.Context().Err(), context.DeadlineExceeded) {
+				writeError(w, http.StatusServiceUnavailable, name, "deadline exceeded during extraction")
+			} else {
+				writeError(w, statusClientClosedRequest, name, "client canceled during extraction")
+			}
+			return
+		}
+		em.errors.Inc()
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusInternalServerError, name, "extraction failed: "+err.Error())
+		return
+	}
+	// Deferred — not called after the response — so a panic while building
+	// or writing the response still returns the page and its parse arena
+	// to the pools.  The sections hold only plain strings and ints, so the
+	// response outlives the lease regardless.
+	defer r.ReleasePage(lease)
+	if extractTestHook != nil {
+		extractTestHook(name)
+	}
 
 	resp := extractResponse{Engine: name, Sections: make([]sectionJSON, 0, len(sections))}
 	records := int64(0)
@@ -264,9 +386,6 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	em.sections.Add(int64(len(sections)))
 	em.records.Add(records)
 	writeJSON(w, http.StatusOK, resp)
-	// The response is written and the sections hold only plain strings and
-	// ints; the page and its parse arena can go back to the pools.
-	r.ReleasePage(lease)
 }
 
 // bodyPool recycles the request-body read buffers of /extract.

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mse/internal/dom"
+	"mse/internal/layout"
+)
+
+// TestStressExtract storms a limited server with concurrent /extract
+// requests under aggressive client deadlines.  Whatever mix of successes,
+// sheds and cancellations results, the server must answer every request
+// with one of 200/429/499/503, survive the storm, and return every pooled
+// arena and scratch.  `make stress` runs it under -race with
+// MSE_STRESS_N=300; the in-tree default keeps tier-1 fast.
+func TestStressExtract(t *testing.T) {
+	n := 48
+	if s := os.Getenv("MSE_STRESS_N"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("MSE_STRESS_N=%q: %v", s, err)
+		}
+		n = v
+	}
+	reg, eng := testRegistry(t)
+	// Two slots and a queue budget shorter than one extraction: a healthy
+	// run sees all of 200 (admitted), 429 (shed) and client-side deadline
+	// failures; the exact mix is machine-dependent and not asserted.
+	reg.SetLimits(2, 5*time.Millisecond)
+	srv := httptest.NewServer(reg.Handler())
+
+	arenaBefore := dom.ArenaStatsSnapshot()
+	scratchBefore := layout.ScratchStatsSnapshot()
+
+	// A storm of the demo engine's schema but with an order of magnitude
+	// more records per section, so each admitted extraction holds its slot
+	// long enough for the queue to back up.  The shared engine's schema is
+	// restored afterwards — other tests generate pages from it.
+	type bounds struct{ min, max int }
+	saved := make([]bounds, len(eng.Schema.Sections))
+	for i, ss := range eng.Schema.Sections {
+		saved[i] = bounds{ss.MinRecords, ss.MaxRecords}
+		ss.MinRecords, ss.MaxRecords = 300, 300
+	}
+	html := eng.Page(31).HTML
+	for i, ss := range eng.Schema.Sections {
+		ss.MinRecords, ss.MaxRecords = saved[i].min, saved[i].max
+	}
+	var ok200, shed, canceled, clientErr, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Deadlines from 3ms (dies mid-flight) to 2s (comfortably
+			// completes), cycling so every run exercises every outcome.
+			deadline := time.Duration(3+97*(i%20)) * time.Millisecond
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				srv.URL+"/extract?engine=demo", strings.NewReader(html))
+			if err != nil {
+				other.Add(1)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				// The client gave up first; the server side must still
+				// clean up, which the pool balance below proves.
+				clientErr.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok200.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+			case statusClientClosedRequest, http.StatusServiceUnavailable:
+				canceled.Add(1)
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if other.Load() != 0 {
+		t.Fatalf("unexpected status codes on %d request(s); 200=%d 429=%d 499/503=%d client-err=%d",
+			other.Load(), ok200.Load(), shed.Load(), canceled.Load(), clientErr.Load())
+	}
+	t.Logf("storm of %d: 200=%d 429=%d 499/503=%d client-err=%d",
+		n, ok200.Load(), shed.Load(), canceled.Load(), clientErr.Load())
+
+	// The server must still be fully functional after the storm.
+	resp, err := http.Post(srv.URL+"/extract?engine=demo", "text/html", strings.NewReader(html))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-storm request status = %d, want 200", resp.StatusCode)
+	}
+
+	// Close waits for the handlers abandoned by their clients to finish,
+	// after which every pooled acquisition must have been released.
+	srv.Close()
+	if dom.ArenasEnabled() {
+		arenaAfter := dom.ArenaStatsSnapshot()
+		if acq, rel := arenaAfter.Acquires-arenaBefore.Acquires, arenaAfter.Releases-arenaBefore.Releases; acq != rel {
+			t.Fatalf("arena leak across storm: %d acquired, %d released", acq, rel)
+		}
+		scratchAfter := layout.ScratchStatsSnapshot()
+		if acq, rel := scratchAfter.Acquires-scratchBefore.Acquires, scratchAfter.Releases-scratchBefore.Releases; acq != rel {
+			t.Fatalf("render scratch leak across storm: %d acquired, %d released", acq, rel)
+		}
+	}
+
+	if fails := reg.metrics.panics.Value(); fails != 0 {
+		t.Fatalf("panics_total = %d during storm, want 0", fails)
+	}
+}

@@ -98,6 +98,7 @@ func (w *SectionWrapper) Apply(p *layout.Page, query []string, opt Options) *Ext
 		cands = cands[:maxCandidates]
 	}
 	for _, t := range cands {
+		opt.Cancel.Check()
 		if s := w.applyAt(p, t, &sc.cleaner, opt); s != nil {
 			return s
 		}

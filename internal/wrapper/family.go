@@ -310,6 +310,7 @@ func (f *Family) applyType1(p *layout.Page, opt Options) []*ExtractedSection {
 	}
 	for i := first; i <= last; i++ {
 		if attrsEqual(attrSetOf(p.Lines[i].Attrs), f.LBMAttrs) {
+			opt.Cancel.Check()
 			flush(i)
 			heading = p.Lines[i].Text
 			secStart = i + 1
@@ -344,6 +345,7 @@ func (f *Family) applyType2(p *layout.Page, opt Options) []*ExtractedSection {
 	})
 	var out []*ExtractedSection
 	for _, t := range matches {
+		opt.Cancel.Check()
 		first, last, ok := p.Span(t)
 		if !ok {
 			continue

@@ -14,6 +14,7 @@ package wrapper
 import (
 	"sort"
 
+	"mse/internal/cancel"
 	"mse/internal/dom"
 	"mse/internal/dse"
 	"mse/internal/layout"
@@ -86,6 +87,11 @@ type Options struct {
 	Mining        mining.Options
 	LineWeights   visual.LineWeights
 	RecordWeights visual.RecordWeights
+	// Cancel, when non-nil, is polled by Apply before each candidate
+	// subtree is validated and partitioned, so a canceled context aborts
+	// extraction between candidates.  core's ctx-accepting entry points
+	// install it; it is never serialized with a wrapper.
+	Cancel *cancel.Token `json:"-"`
 }
 
 // DefaultOptions returns the defaults.
