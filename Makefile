@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check stress bench benchcmp clean
+.PHONY: all build test vet race drift smoke check stress bench benchcmp clean
 
 all: build
 
@@ -23,12 +23,25 @@ vet:
 # the race detector, plus the end-to-end differential tests that pin the
 # cached/parallel and pooled-arena outputs to their reference paths.
 race:
-	$(GO) test -race ./internal/obs ./internal/serve ./internal/editdist \
-		./internal/dom ./internal/par ./internal/cluster ./internal/core \
-		./internal/htmlparse ./internal/layout ./internal/wrapper
+	$(GO) test -race ./internal/obs ./internal/quality ./internal/serve \
+		./internal/editdist ./internal/dom ./internal/par ./internal/cluster \
+		./internal/core ./internal/htmlparse ./internal/layout ./internal/wrapper
 	$(GO) test -race -run 'TestDifferential' .
 
-check: build vet test race
+# drift replays the synthetic drift schedule through the full HTTP stack:
+# three engines served concurrently, one silently switching to a
+# redesigned template, with the detector required to escalate the drifted
+# engine (OK -> SUSPECT -> DRIFTED) while the stable engines stay OK.
+drift:
+	$(GO) test -count=1 -run 'TestDriftScheduleEndToEnd' ./internal/serve
+
+# smoke builds the real mse-serve binary and drives it end to end with
+# the JSON access log and wide-event journal on, strict-parsing /metrics,
+# /driftz, the journal file and every log line.
+smoke:
+	$(GO) test -count=1 -run 'TestServeSmoke' ./cmd/mse-serve
+
+check: build vet test race drift smoke
 
 # stress storms the extraction service with hundreds of concurrent
 # deadline-bearing /extract requests under the race detector: admission

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	mse-serve -addr :8080 -wrappers dir/ [-pprof] [-quiet]
-//	          [-max-inflight N] [-queue-timeout D]
+//	          [-max-inflight N] [-queue-timeout D] [-log-format text|json]
+//	          [-journal PATH] [-journal-sample N] [-drift-window N]
 //
 // Every *.json file in the wrappers directory is loaded as one engine
 // wrapper named after the file (sans extension).  Endpoints:
@@ -13,7 +14,16 @@
 //	GET  /engines
 //	GET  /metrics                           JSON metrics snapshot
 //	GET  /statusz                           human-readable status page
+//	GET  /driftz                            per-engine drift report
 //	POST /extract?engine=NAME&q=term+term   (body: result page HTML)
+//
+// With -journal the server appends one wide-event JSON line per sampled
+// /extract request to PATH (1-in-N sampling via -journal-sample); the
+// lines carry the request ID echoed in the X-Request-ID response header,
+// so a journal line, an access-log line and the client's own records all
+// correlate.  -drift-window tunes how many pages the drift detector's
+// anomaly-rate smoothing spans.  -log-format json switches the access and
+// service logs to JSON.
 //
 // With -pprof the net/http/pprof profiling handlers are mounted under
 // /debug/pprof/ and the expvar dump under /debug/vars.  The server drains
@@ -36,6 +46,7 @@ import (
 	"time"
 
 	"mse/internal/core"
+	"mse/internal/quality"
 	"mse/internal/serve"
 )
 
@@ -50,15 +61,45 @@ func main() {
 		"max concurrent extractions before requests queue (0 = 2x GOMAXPROCS, negative = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", time.Second,
 		"how long an /extract request may wait for a slot before being shed with 429")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	journalPath := flag.String("journal", "",
+		"append wide-event JSON lines for sampled /extract requests to this file")
+	journalSample := flag.Int("journal-sample", 1,
+		"journal 1 in N /extract requests (1 = every request)")
+	driftWindow := flag.Int("drift-window", 0,
+		"drift detector smoothing window in pages (0 = default)")
 	flag.Parse()
 
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		slog.Error("invalid -log-format", "value", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	opts := core.DefaultOptions()
 	opts.Parallelism = *parallelism
 	reg := serve.NewRegistry(opts)
 	if !*quiet {
 		reg.SetAccessLog(logger)
+	}
+	if *driftWindow > 0 {
+		cfg := quality.DefaultConfig()
+		cfg.Window = *driftWindow
+		reg.SetQualityConfig(cfg)
+	}
+	if *journalPath != "" {
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(logger, "opening journal", err)
+		}
+		defer f.Close()
+		reg.SetJournal(f, *journalSample)
 	}
 	// Admission control: by default admit roughly two extractions per CPU
 	// — extraction is CPU-bound, so beyond that extra concurrency only

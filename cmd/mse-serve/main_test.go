@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mse/internal/core"
+	"mse/internal/synth"
+)
+
+// TestServeSmoke builds the real binary and drives it end to end: train a
+// wrapper to disk, start mse-serve with the JSON access log and the
+// wide-event journal enabled, serve pages, and strict-parse everything
+// observability produces — /metrics, /driftz, the journal file and the
+// stderr log lines must all be well-formed JSON.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	dir := t.TempDir()
+
+	// Train one wrapper and store it the way mse-build would.
+	e := synth.NewEngine(55, 3, true)
+	var samples []*core.SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := core.BuildWrapper(samples, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapperDir := filepath.Join(dir, "wrappers")
+	if err := os.MkdirAll(wrapperDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(wrapperDir, "demo.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(dir, "mse-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Reserve an ephemeral port; close the listener just before handing the
+	// address to the binary.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	journal := filepath.Join(dir, "journal.jsonl")
+	logFile, err := os.Create(filepath.Join(dir, "stderr.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logFile.Close()
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-wrappers", wrapperDir,
+		"-log-format", "json",
+		"-journal", journal,
+		"-journal-sample", "1",
+		"-drift-window", "12",
+		"-drain", "5s",
+	)
+	cmd.Stderr = logFile
+	cmd.Stdout = logFile
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	ok := false
+	for i := 0; i < 100; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatalf("server did not come up on %s", addr)
+	}
+
+	const pages = 8
+	for q := 0; q < pages; q++ {
+		gp := e.Page(q)
+		resp, err := client.Post(
+			fmt.Sprintf("%s/extract?engine=demo&q=%s", base, strings.Join(gp.Query, "+")),
+			"text/html", strings.NewReader(gp.HTML))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("extract page %d: status %d\n%s", q, resp.StatusCode, body)
+		}
+		if rid := resp.Header.Get("X-Request-ID"); rid == "" {
+			t.Fatalf("extract page %d: no X-Request-ID echoed", q)
+		}
+	}
+
+	// /metrics must parse and carry the quality gauges and percentiles.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var metrics struct {
+		Metrics struct {
+			Gauges     map[string]int64           `json:"gauges"`
+			Histograms map[string]json.RawMessage `json:"histograms"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(metricsBody, &metrics); err != nil {
+		t.Fatalf("/metrics malformed: %v\n%s", err, metricsBody)
+	}
+	if _, ok := metrics.Metrics.Gauges["engine.demo.quality.verdict"]; !ok {
+		t.Fatalf("/metrics missing engine.demo.quality.verdict:\n%s", metricsBody)
+	}
+	lat, ok := metrics.Metrics.Histograms["engine.demo.latency"]
+	if !ok {
+		t.Fatalf("/metrics missing engine.demo.latency:\n%s", metricsBody)
+	}
+	for _, q := range []string{"p50_ms", "p90_ms", "p99_ms"} {
+		if !strings.Contains(string(lat), q) {
+			t.Fatalf("latency histogram missing %s:\n%s", q, lat)
+		}
+	}
+
+	// /driftz must parse and report the engine.
+	resp, err = client.Get(base + "/driftz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	driftBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var report struct {
+		Engines []struct {
+			Engine  string `json:"engine"`
+			Verdict string `json:"verdict"`
+			Pages   int64  `json:"pages"`
+		} `json:"engines"`
+	}
+	if err := json.Unmarshal(driftBody, &report); err != nil {
+		t.Fatalf("/driftz malformed: %v\n%s", err, driftBody)
+	}
+	if len(report.Engines) != 1 || report.Engines[0].Engine != "demo" ||
+		report.Engines[0].Pages != pages || report.Engines[0].Verdict == "" {
+		t.Fatalf("/driftz unexpected: %s", driftBody)
+	}
+
+	// Clean shutdown so the journal file is fully flushed.
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not drain after SIGTERM")
+	}
+
+	// Journal: one well-formed JSON line per served page.
+	jb, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlines := strings.Split(strings.TrimRight(string(jb), "\n"), "\n")
+	if len(jlines) != pages {
+		t.Fatalf("journal lines = %d, want %d\n%s", len(jlines), pages, jb)
+	}
+	for i, line := range jlines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("journal line %d malformed: %v\n%s", i, err, line)
+		}
+		for _, key := range []string{"time", "request_id", "engine", "status", "total_ms"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("journal line %d missing %q: %s", i, key, line)
+			}
+		}
+	}
+
+	// Every stderr line (access log + service log) must be JSON.
+	lb, err := os.ReadFile(logFile.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	llines := strings.Split(strings.TrimRight(string(lb), "\n"), "\n")
+	if len(llines) == 0 || llines[0] == "" {
+		t.Fatalf("no log output")
+	}
+	sawAccess := false
+	for i, line := range llines {
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("log line %d not JSON: %v\n%s", i, err, line)
+		}
+		if entry["msg"] == "request" {
+			sawAccess = true
+			if rid, _ := entry["request_id"].(string); rid == "" {
+				t.Fatalf("access log line missing request_id: %s", line)
+			}
+		}
+	}
+	if !sawAccess {
+		t.Fatalf("no access-log lines in output:\n%s", lb)
+	}
+}

@@ -87,14 +87,26 @@ func (ew *EngineWrapper) ExtractCtx(ctx context.Context, html string, query []st
 // any panic) every pooled resource acquired for the call is released
 // before the function returns, and the returned lease is nil.  On success
 // the caller owns the lease exactly as with ExtractLeased.
-func (ew *EngineWrapper) ExtractLeasedCtx(ctx context.Context, html string, query []string) (sections []*Section, lease *PageLease, err error) {
-	tok := cancel.FromContext(ctx)
-	if tok == nil {
+func (ew *EngineWrapper) ExtractLeasedCtx(ctx context.Context, html string, query []string) ([]*Section, *PageLease, error) {
+	if cancel.FromContext(ctx) == nil {
 		s, l := ew.ExtractLeased(html, query)
 		return s, l, nil
 	}
 	root := ew.opt.Obs.Start(obs.RootExtract)
 	defer root.End()
+	return ew.ExtractLeasedObs(ctx, html, query, root)
+}
+
+// ExtractLeasedObs is ExtractLeasedCtx recording its per-stage spans —
+// render, wrapper_build, families, plus the sections/records counters —
+// under the caller-supplied root span instead of the wrapper's Tracer.
+// Services use it with a fresh obs.NewSpan per request to obtain stage
+// timings for that one extraction (a wide-event journal line) without the
+// Tracer's accumulate-forever semantics.  root may be nil, which disables
+// tracing; ctx may lack a cancel token, which disables cancellation.  The
+// cancellation and lease contract is exactly ExtractLeasedCtx's.
+func (ew *EngineWrapper) ExtractLeasedObs(ctx context.Context, html string, query []string, root *obs.Span) (sections []*Section, lease *PageLease, err error) {
+	tok := cancel.FromContext(ctx)
 	// The lease exists before any pooled acquisition so that the deferred
 	// release below covers every partial state: arena acquired but render
 	// panicked (page still nil — RenderPooledCancel recycles its own

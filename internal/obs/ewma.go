@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// EWMA is a streaming exponentially-weighted estimate of the mean and
+// variance of a scalar signal.  The first Warmup observations are folded in
+// with Welford's exact online algorithm — an exponential estimator seeded
+// from a handful of samples is dominated by its initial value, so the
+// warm-up phase gives the baseline an unbiased start — after which updates
+// switch to the exponential form with smoothing factor Alpha:
+//
+//	mean ← mean + α·(x − mean)
+//	var  ← (1−α)·(var + α·(x − mean)²)
+//
+// The zero value is not usable; construct with NewEWMA.  All methods are
+// safe for concurrent use.
+type EWMA struct {
+	mu     sync.Mutex
+	alpha  float64
+	warmup int64
+	n      int64
+	mean   float64
+	// During warm-up, m2 is Welford's sum of squared deviations; after
+	// warm-up it is the exponentially weighted variance itself.
+	m2 float64
+}
+
+// NewEWMA returns an estimator with the given smoothing factor
+// (0 < alpha <= 1) and warm-up count.  alpha outside the range is clamped;
+// warmup < 1 is treated as 1.  A rough guide: alpha = 2/(N+1) weights the
+// last N observations about as much as a length-N sliding window.
+func NewEWMA(alpha float64, warmup int) *EWMA {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	if warmup < 1 {
+		warmup = 1
+	}
+	return &EWMA{alpha: alpha, warmup: int64(warmup)}
+}
+
+// Observe folds one observation into the estimate.
+func (e *EWMA) Observe(x float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+	if e.n <= e.warmup {
+		// Welford: exact running mean and sum of squared deviations.
+		d := x - e.mean
+		e.mean += d / float64(e.n)
+		e.m2 += d * (x - e.mean)
+		if e.n == e.warmup {
+			// Seed the exponential variance from the sample variance.
+			if e.n > 1 {
+				e.m2 /= float64(e.n - 1)
+			} else {
+				e.m2 = 0
+			}
+		}
+		return
+	}
+	d := x - e.mean
+	e.mean += e.alpha * d
+	e.m2 = (1 - e.alpha) * (e.m2 + e.alpha*d*d)
+}
+
+// Count returns the number of observations so far.
+func (e *EWMA) Count() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Warmed reports whether the warm-up phase is complete, i.e. the estimate
+// is an exponential moving baseline rather than a cold cumulative average.
+func (e *EWMA) Warmed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n >= e.warmup
+}
+
+// Mean returns the current mean estimate (0 before any observation).
+func (e *EWMA) Mean() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mean
+}
+
+// Var returns the current variance estimate (0 until two observations).
+func (e *EWMA) Var() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.varLocked()
+}
+
+func (e *EWMA) varLocked() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	if e.n < e.warmup {
+		// Still in Welford form: m2 is the sum of squared deviations.
+		return e.m2 / float64(e.n-1)
+	}
+	return e.m2
+}
+
+// Std returns the current standard-deviation estimate.
+func (e *EWMA) Std() float64 { return math.Sqrt(e.Var()) }
+
+// Snapshot returns the serializable state of the estimator.
+func (e *EWMA) Snapshot() EWMASnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EWMASnapshot{
+		Mean:   e.mean,
+		Std:    math.Sqrt(e.varLocked()),
+		Count:  e.n,
+		Warmed: e.n >= e.warmup,
+	}
+}
+
+// EWMASnapshot is the wire form of an EWMA baseline.
+type EWMASnapshot struct {
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Count  int64   `json:"count"`
+	Warmed bool    `json:"warmed"`
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEWMAConvergence feeds a seeded Gaussian stream and checks that the
+// mean and standard-deviation estimates converge to the source parameters
+// within loose tolerances.
+func TestEWMAConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const mean, std = 7.5, 1.25
+	e := NewEWMA(2.0/(64+1), 32)
+	for i := 0; i < 5000; i++ {
+		e.Observe(mean + std*rng.NormFloat64())
+	}
+	if got := e.Mean(); math.Abs(got-mean) > 0.5 {
+		t.Fatalf("mean = %.3f, want ~%.3f", got, mean)
+	}
+	if got := e.Std(); math.Abs(got-std) > 0.5 {
+		t.Fatalf("std = %.3f, want ~%.3f", got, std)
+	}
+	if !e.Warmed() {
+		t.Fatalf("estimator not warmed after 5000 observations")
+	}
+}
+
+// TestEWMATracksShift checks the defining property of the exponential
+// estimator: after a level shift the mean moves to the new level at the
+// rate implied by alpha, while the warm-up average alone would lag far
+// behind.
+func TestEWMATracksShift(t *testing.T) {
+	e := NewEWMA(2.0/(16+1), 8)
+	for i := 0; i < 100; i++ {
+		e.Observe(10)
+	}
+	if got := e.Mean(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("pre-shift mean = %v, want 10", got)
+	}
+	if got := e.Std(); got > 1e-6 {
+		t.Fatalf("pre-shift std = %v, want ~0", got)
+	}
+	for i := 0; i < 60; i++ {
+		e.Observe(20)
+	}
+	// 60 observations at alpha≈0.118: 1-(1-α)^60 > 0.999 of the way there.
+	if got := e.Mean(); math.Abs(got-20) > 0.1 {
+		t.Fatalf("post-shift mean = %v, want ~20", got)
+	}
+}
+
+// TestEWMAWarmupExact pins the warm-up phase to the exact sample mean and
+// variance (Welford), so a short-lived baseline is unbiased.
+func TestEWMAWarmupExact(t *testing.T) {
+	e := NewEWMA(0.5, 100)
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		e.Observe(x)
+	}
+	if got := e.Mean(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("warm-up mean = %v, want 5", got)
+	}
+	// Sample variance of xs is 32/7.
+	if got, want := e.Var(), 32.0/7.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("warm-up var = %v, want %v", got, want)
+	}
+	if e.Warmed() {
+		t.Fatalf("warmed after %d < 100 observations", len(xs))
+	}
+}
+
+// TestEWMAConcurrent exercises the estimator from many goroutines; under
+// -race this proves the locking, and the final count must be exact.
+func TestEWMAConcurrent(t *testing.T) {
+	e := NewEWMA(0.1, 10)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				e.Observe(5 + rng.Float64())
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := e.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	if m := e.Mean(); m < 5 || m > 6 {
+		t.Fatalf("mean = %v, want within (5, 6)", m)
+	}
+}
+
+// TestHistogramQuantileAccuracy compares the bucketed quantile estimate
+// against the exact empirical percentile of a seeded log-uniform latency
+// stream.  The histogram can only be as precise as its buckets, so the
+// check is a containment bound: the estimate must land within one bucket
+// of the exact value.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram(nil)
+	const n = 20000
+	exact := make([]time.Duration, n)
+	for i := range exact {
+		// Log-uniform over 0.5ms .. 4s, the realistic serving range.
+		lo, hi := math.Log(0.5), math.Log(4000)
+		msf := math.Exp(lo + rng.Float64()*(hi-lo))
+		d := time.Duration(msf * float64(time.Millisecond))
+		exact[i] = d
+		h.Observe(d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.50, 0.90, 0.95, 0.99} {
+		want := exact[int(q*float64(n))-1]
+		got := h.Quantile(q)
+		lo, hi := bucketAround(DefaultLatencyBuckets, want)
+		if got < lo || got > hi {
+			t.Errorf("q=%.2f: estimate %v outside bucket [%v, %v] around exact %v",
+				q, got, lo, hi, want)
+		}
+	}
+}
+
+// bucketAround returns the histogram bucket [lower, upper] that contains d.
+func bucketAround(bounds []time.Duration, d time.Duration) (time.Duration, time.Duration) {
+	lo := time.Duration(0)
+	for _, b := range bounds {
+		if d <= b {
+			return lo, b
+		}
+		lo = b
+	}
+	return lo, 1<<63 - 1
+}
+
+// TestHistogramSnapshotP90 checks the snapshot carries all four serving
+// percentiles, ordered.
+func TestHistogramSnapshotP90(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.P50Ms <= 0 || s.P90Ms <= 0 || s.P95Ms <= 0 || s.P99Ms <= 0 {
+		t.Fatalf("zero percentile in snapshot: %+v", s)
+	}
+	if !(s.P50Ms <= s.P90Ms && s.P90Ms <= s.P95Ms && s.P95Ms <= s.P99Ms) {
+		t.Fatalf("percentiles not monotone: p50=%v p90=%v p95=%v p99=%v",
+			s.P50Ms, s.P90Ms, s.P95Ms, s.P99Ms)
+	}
+}

@@ -124,6 +124,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Count: h.Count(),
 		SumMs: ms(h.Sum()),
 		P50Ms: ms(h.Quantile(0.50)),
+		P90Ms: ms(h.Quantile(0.90)),
 		P95Ms: ms(h.Quantile(0.95)),
 		P99Ms: ms(h.Quantile(0.99)),
 	}
@@ -150,6 +151,7 @@ type HistogramSnapshot struct {
 	Count   int64         `json:"count"`
 	SumMs   float64       `json:"sum_ms"`
 	P50Ms   float64       `json:"p50_ms"`
+	P90Ms   float64       `json:"p90_ms"`
 	P95Ms   float64       `json:"p95_ms"`
 	P99Ms   float64       `json:"p99_ms"`
 	Buckets []BucketCount `json:"buckets,omitempty"`

@@ -129,6 +129,12 @@ func newSpan(name string) *Span {
 	return &Span{name: name, t0: time.Now()}
 }
 
+// NewSpan starts a free-standing root span that is not collected by any
+// Tracer.  Services use it for per-request span trees (stage timings for a
+// wide-event journal line) where Tracer's accumulate-forever semantics
+// would leak.
+func NewSpan(name string) *Span { return newSpan(name) }
+
 // Name returns the span name ("" for a nil span).
 func (s *Span) Name() string {
 	if s == nil {

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mse/internal/core"
+	"mse/internal/quality"
+	"mse/internal/synth"
+)
+
+// trainWrapper builds and JSON-encodes a wrapper for the engine from its
+// first five sample pages.
+func trainWrapper(t *testing.T, e *synth.Engine) []byte {
+	t.Helper()
+	var samples []*core.SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := core.BuildWrapper(samples, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("train %s: %v", e.Name, err)
+	}
+	data, err := json.Marshal(ew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// postPage serves one page through /extract and returns the HTTP status.
+func postPage(t *testing.T, client *http.Client, base, engine string, gp *synth.GenPage) int {
+	t.Helper()
+	q := strings.Join(gp.Query, "+")
+	resp, err := client.Post(
+		fmt.Sprintf("%s/extract?engine=%s&q=%s", base, engine, q),
+		"text/html", strings.NewReader(gp.HTML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestDriftScheduleEndToEnd is the acceptance run for the drift detector:
+// three engines served through the full HTTP stack, one of which silently
+// switches to a redesigned template after its baseline is learned.  The
+// drifted engine must escalate OK → SUSPECT → DRIFTED within 200 served
+// pages; the two stable engines must stay OK for the whole run; /driftz,
+// /metrics, /statusz and the wide-event journal must all reflect it.
+func TestDriftScheduleEndToEnd(t *testing.T) {
+	engines := map[string]*synth.Engine{
+		"alpha": synth.NewEngine(55, 3, true),
+		"beta":  synth.NewEngine(21, 2, true),
+		"gamma": synth.NewEngine(33, 3, true),
+	}
+	reg := NewRegistry(core.DefaultOptions())
+	for name, e := range engines {
+		if err := reg.Add(name, trainWrapper(t, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := quality.Config{WarmupPages: 16, Window: 10}
+	reg.SetQualityConfig(cfg)
+	var journalBuf bytes.Buffer
+	reg.SetJournal(&journalBuf, 1)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Phase 1: every engine serves its own pages long enough to warm the
+	// baselines.  All verdicts must be OK at the end.
+	warm := cfg.WarmupPages + 6
+	for q := 0; q < warm; q++ {
+		for name, e := range engines {
+			if st := postPage(t, client, srv.URL, name, e.Page(q)); st != http.StatusOK {
+				t.Fatalf("warmup %s page %d: status %d", name, q, st)
+			}
+		}
+	}
+	for name := range engines {
+		if v := reg.Quality().Verdict(name); v != quality.OK {
+			t.Fatalf("after warmup, %s verdict = %v, want OK", name, v)
+		}
+	}
+
+	// Phase 2: gamma's template is redesigned; alpha and beta keep serving
+	// stable pages alongside it.  The old gamma wrapper now sees markup it
+	// was never trained on.
+	drifted := engines["gamma"].Drifted()
+	const maxDriftPages = 200
+	sawSuspect := false
+	reached := -1
+	for i := 0; i < maxDriftPages; i++ {
+		q := warm + i
+		postPage(t, client, srv.URL, "gamma", drifted.Page(q)) // any status: errors are signal too
+		for _, name := range []string{"alpha", "beta"} {
+			if st := postPage(t, client, srv.URL, name, engines[name].Page(q)); st != http.StatusOK {
+				t.Fatalf("stable %s page %d: status %d", name, q, st)
+			}
+			if v := reg.Quality().Verdict(name); v != quality.OK {
+				t.Fatalf("stable %s verdict = %v after %d drifted pages, want OK", name, v, i+1)
+			}
+		}
+		switch reg.Quality().Verdict("gamma") {
+		case quality.Suspect:
+			sawSuspect = true
+		case quality.Drifted:
+			if !sawSuspect {
+				t.Fatalf("gamma reached DRIFTED without passing through SUSPECT")
+			}
+			reached = i + 1
+		}
+		if reached > 0 {
+			break
+		}
+	}
+	if reached < 0 {
+		t.Fatalf("gamma did not reach DRIFTED within %d drifted pages (verdict %v)",
+			maxDriftPages, reg.Quality().Verdict("gamma"))
+	}
+	t.Logf("gamma DRIFTED after %d drifted pages", reached)
+
+	// /driftz: machine-readable report, engines sorted, verdicts as strings.
+	resp, err := client.Get(srv.URL + "/driftz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Engines []struct {
+			Engine      string  `json:"engine"`
+			Verdict     string  `json:"verdict"`
+			Pages       int64   `json:"pages"`
+			AnomalyRate float64 `json:"anomaly_rate"`
+			Transitions int64   `json:"transitions"`
+		} `json:"engines"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatalf("/driftz: %v", err)
+	}
+	resp.Body.Close()
+	if len(report.Engines) != 3 {
+		t.Fatalf("/driftz engines = %d, want 3", len(report.Engines))
+	}
+	wantVerdicts := map[string]string{"alpha": "OK", "beta": "OK", "gamma": "DRIFTED"}
+	for i, er := range report.Engines {
+		if i > 0 && report.Engines[i-1].Engine >= er.Engine {
+			t.Fatalf("/driftz engines not sorted: %s before %s", report.Engines[i-1].Engine, er.Engine)
+		}
+		if er.Verdict != wantVerdicts[er.Engine] {
+			t.Fatalf("/driftz %s verdict = %q, want %q", er.Engine, er.Verdict, wantVerdicts[er.Engine])
+		}
+		if er.Pages == 0 {
+			t.Fatalf("/driftz %s pages = 0", er.Engine)
+		}
+	}
+
+	// /metrics: per-engine quality gauges and latency percentiles.
+	resp, err = client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Metrics struct {
+			Gauges     map[string]int64 `json:"gauges"`
+			Histograms map[string]struct {
+				Count int64   `json:"count"`
+				P50Ms float64 `json:"p50_ms"`
+				P90Ms float64 `json:"p90_ms"`
+				P99Ms float64 `json:"p99_ms"`
+			} `json:"histograms"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	resp.Body.Close()
+	if got := metrics.Metrics.Gauges["engine.gamma.quality.verdict"]; got != int64(quality.Drifted) {
+		t.Fatalf("gamma verdict gauge = %d, want %d", got, int64(quality.Drifted))
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		if got := metrics.Metrics.Gauges["engine."+name+".quality.verdict"]; got != int64(quality.OK) {
+			t.Fatalf("%s verdict gauge = %d, want %d", name, got, int64(quality.OK))
+		}
+	}
+	if metrics.Metrics.Gauges["engine.gamma.quality.anomaly_rate_bp"] <= 0 {
+		t.Fatalf("gamma anomaly_rate_bp gauge not positive")
+	}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		h, ok := metrics.Metrics.Histograms["engine."+name+".latency"]
+		if !ok || h.Count == 0 {
+			t.Fatalf("%s latency histogram missing or empty", name)
+		}
+		if h.P50Ms < 0 || h.P90Ms < h.P50Ms || h.P99Ms < h.P90Ms {
+			t.Fatalf("%s latency percentiles not monotone: p50=%v p90=%v p99=%v",
+				name, h.P50Ms, h.P90Ms, h.P99Ms)
+		}
+	}
+
+	// /statusz: the human-readable table carries the verdicts.
+	resp, err = client.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statusz, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"verdict", "DRIFTED", "req/s", "alpha", "beta", "gamma"} {
+		if !strings.Contains(string(statusz), want) {
+			t.Fatalf("/statusz missing %q:\n%s", want, statusz)
+		}
+	}
+
+	// Journal: every line is complete JSON with a request ID; successful
+	// extractions carry span timings and the quality fields.
+	lines := strings.Split(strings.TrimRight(journalBuf.String(), "\n"), "\n")
+	if len(lines) < warm*3 {
+		t.Fatalf("journal lines = %d, want >= %d", len(lines), warm*3)
+	}
+	withStages := 0
+	for i, line := range lines {
+		var ev JournalEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("journal line %d not JSON: %v\n%s", i, err, line)
+		}
+		if ev.RequestID == "" {
+			t.Fatalf("journal line %d missing request_id", i)
+		}
+		if ev.Engine == "" || ev.Time == "" || ev.Status == 0 {
+			t.Fatalf("journal line %d incomplete: %s", i, line)
+		}
+		if len(ev.StagesMs) > 0 {
+			withStages++
+		}
+	}
+	if withStages == 0 {
+		t.Fatalf("no journal line carried span stage timings")
+	}
+	if reg.Journal().Written() != int64(len(lines)) || reg.Journal().Failed() != 0 {
+		t.Fatalf("journal counters written=%d failed=%d, want written=%d failed=0",
+			reg.Journal().Written(), reg.Journal().Failed(), len(lines))
+	}
+}

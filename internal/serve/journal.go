@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Journal is the wide-event request journal: one structured JSON line per
+// sampled /extract request, carrying everything needed to reconstruct the
+// request after the fact — engine, page hash and size, section/record
+// counts, per-stage span timings, the drift verdict at that moment, and
+// the request ID that correlates the line with the access log and the
+// client's own records.  Metrics answer "how much, how fast"; the journal
+// answers "what exactly happened on the request that tripped the drift
+// detector".
+//
+// Sampling is deterministic 1-in-N by arrival order (N = 1 journals every
+// request).  Lines are complete JSON documents separated by newlines
+// (JSONL); writes are serialized, so lines never interleave.  A nil
+// Journal samples nothing, so serving code calls it unconditionally.
+type Journal struct {
+	every uint64
+	n     atomic.Uint64
+
+	mu      sync.Mutex
+	w       io.Writer
+	written atomic.Int64
+	failed  atomic.Int64
+}
+
+// NewJournal returns a journal writing to w, sampling one request in
+// every.  every <= 1 journals all requests.  The caller owns w (and
+// closes it, if it is a file, after the server drains).
+func NewJournal(w io.Writer, every int) *Journal {
+	if every < 1 {
+		every = 1
+	}
+	return &Journal{w: w, every: uint64(every)}
+}
+
+// Sample reports whether the caller should journal this request, counting
+// it either way.  Nil-safe: a nil journal never samples.
+func (j *Journal) Sample() bool {
+	if j == nil {
+		return false
+	}
+	return (j.n.Add(1)-1)%j.every == 0
+}
+
+// Written returns the number of journal lines successfully written.
+func (j *Journal) Written() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.written.Load()
+}
+
+// Failed returns the number of journal lines dropped by write errors.
+func (j *Journal) Failed() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.failed.Load()
+}
+
+// Write emits one event as a JSON line.  Errors are counted, not
+// propagated: a full disk must not fail the request being journaled.
+func (j *Journal) Write(ev JournalEvent) {
+	if j == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		j.failed.Add(1)
+		return
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	_, err = j.w.Write(b)
+	j.mu.Unlock()
+	if err != nil {
+		j.failed.Add(1)
+		return
+	}
+	j.written.Add(1)
+}
+
+// JournalEvent is the wire form of one journal line.
+type JournalEvent struct {
+	// Time is the request completion time, RFC3339 with nanoseconds, UTC.
+	Time      string `json:"time"`
+	RequestID string `json:"request_id"`
+	Engine    string `json:"engine"`
+	Status    int    `json:"status"`
+	// PageBytes and PageHash identify the exact input page: the hash is
+	// FNV-1a/64 of the body, enough to spot byte-identical resubmissions
+	// and to match a page against a captured corpus.
+	PageBytes int      `json:"page_bytes"`
+	PageHash  string   `json:"page_hash,omitempty"`
+	Query     []string `json:"query,omitempty"`
+	Sections  int      `json:"sections"`
+	Records   int      `json:"records"`
+	// Quality fields: the engine's drift verdict after this page, whether
+	// this page itself was anomalous, its z-score and the smoothed rate.
+	Verdict     string  `json:"verdict,omitempty"`
+	Anomalous   bool    `json:"anomalous,omitempty"`
+	Score       float64 `json:"score,omitempty"`
+	AnomalyRate float64 `json:"anomaly_rate,omitempty"`
+	// Timings: admission queue wait, end-to-end handler time, and the
+	// per-stage breakdown (render, wrapper_build, families) from the
+	// request's span tree.
+	QueueWaitMs float64            `json:"queue_wait_ms"`
+	TotalMs     float64            `json:"total_ms"`
+	StagesMs    map[string]float64 `json:"stages_ms,omitempty"`
+	Error       string             `json:"error,omitempty"`
+}
+
+// requestIDHeader is the correlation-ID header: accepted from the client
+// when present, generated otherwise, echoed on every response either way.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds an accepted client-supplied correlation ID, so a
+// hostile header cannot bloat logs and journal lines.
+const maxRequestIDLen = 128
+
+// newRequestID returns a fresh 16-hex-char correlation ID.  Entropy
+// failure (no /dev/urandom) falls back to a process-unique counter rather
+// than failing the request.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var ridFallback atomic.Int64
+
+// ridKey is the context key carrying the request's correlation ID.
+type ridKey struct{}
+
+// pageHash returns the FNV-1a/64 hex digest journal lines carry.
+func pageHash(s string) string {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// nowRFC3339 stamps journal events; a variable so tests can pin it.
+var nowRFC3339 = func() string { return time.Now().UTC().Format(time.RFC3339Nano) }

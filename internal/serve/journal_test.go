@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func TestRequestIDEcho(t *testing.T) {
+	reg, _ := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	// A plausible client ID is honored and echoed verbatim.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+	req.Header.Set(requestIDHeader, "client-id-42")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(requestIDHeader); got != "client-id-42" {
+		t.Fatalf("echoed id = %q, want client-id-42", got)
+	}
+
+	// No client ID: the server generates one and echoes it.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(requestIDHeader); !hexID.MatchString(got) {
+		t.Fatalf("generated id = %q, want 16 hex chars", got)
+	}
+
+	// An oversized client ID is replaced, not echoed.
+	huge := strings.Repeat("x", maxRequestIDLen+1)
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+	req.Header.Set(requestIDHeader, huge)
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(requestIDHeader); got == huge || !hexID.MatchString(got) {
+		t.Fatalf("oversized id echoed back or not regenerated: %q", got)
+	}
+}
+
+func TestJournalSampling(t *testing.T) {
+	reg, e := testRegistry(t)
+	var buf bytes.Buffer
+	reg.SetJournal(&buf, 3)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	const n = 9
+	for i := 0; i < n; i++ {
+		if st := postPage(t, srv.Client(), srv.URL, "demo", e.Page(i)); st != http.StatusOK {
+			t.Fatalf("page %d: status %d", i, st)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != n/3 {
+		t.Fatalf("journal lines = %d, want %d (1-in-3 of %d)", len(lines), n/3, n)
+	}
+	for i, line := range lines {
+		var ev JournalEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev.Engine != "demo" || ev.Status != http.StatusOK || ev.Sections == 0 {
+			t.Fatalf("line %d incomplete: %s", i, line)
+		}
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestJournalWriteFailure: a failing journal sink must not fail the
+// requests being journaled — errors are counted and extraction proceeds.
+func TestJournalWriteFailure(t *testing.T) {
+	reg, e := testRegistry(t)
+	reg.SetJournal(failWriter{}, 1)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		if st := postPage(t, srv.Client(), srv.URL, "demo", e.Page(i)); st != http.StatusOK {
+			t.Fatalf("page %d: status %d", i, st)
+		}
+	}
+	if w, f := reg.Journal().Written(), reg.Journal().Failed(); w != 0 || f != 3 {
+		t.Fatalf("written=%d failed=%d, want 0/3", w, f)
+	}
+}
+
+// TestAccessLogJSONRequestID: the structured access log carries the same
+// correlation ID the response header echoed.
+func TestAccessLogJSONRequestID(t *testing.T) {
+	reg, _ := testRegistry(t)
+	var logBuf bytes.Buffer
+	reg.SetAccessLog(slog.New(slog.NewJSONHandler(&logBuf, nil)))
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/engines", nil)
+	req.Header.Set(requestIDHeader, "corr-7")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var entry map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log not JSON: %v\n%s", err, logBuf.String())
+	}
+	if entry["request_id"] != "corr-7" {
+		t.Fatalf("access log request_id = %v, want corr-7", entry["request_id"])
+	}
+	if entry["path"] != "/engines" || entry["status"] != float64(http.StatusOK) {
+		t.Fatalf("access log entry incomplete: %s", logBuf.String())
+	}
+}

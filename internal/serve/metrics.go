@@ -12,6 +12,7 @@ import (
 	"mse/internal/editdist"
 	"mse/internal/layout"
 	"mse/internal/obs"
+	"mse/internal/quality"
 	"mse/internal/wrapper"
 )
 
@@ -49,6 +50,19 @@ type engineMetrics struct {
 	sections *obs.Counter
 	records  *obs.Counter
 	latency  *obs.Histogram
+	// Quality metrics mirrored from the drift tracker after every
+	// extraction: the verdict as an enum gauge (0 OK, 1 SUSPECT,
+	// 2 DRIFTED), the smoothed anomaly rate in basis points (1/100 of a
+	// percent — gauges are integers), and the count of empty extractions.
+	verdict   *obs.Gauge
+	anomalyBP *obs.Gauge
+	empty     *obs.Counter
+}
+
+// applyQuality mirrors a drift assessment onto the engine's gauges.
+func (em *engineMetrics) applyQuality(a quality.Assessment) {
+	em.verdict.Set(int64(a.Verdict))
+	em.anomalyBP.Set(int64(a.AnomalyRate * 10000))
 }
 
 // NewMetrics returns an empty metrics set with its uptime clock started.
@@ -88,11 +102,14 @@ func (m *Metrics) engine(name string) *engineMetrics {
 	if !ok {
 		prefix := "engine." + name + "."
 		em = &engineMetrics{
-			requests: m.reg.Counter(prefix + "requests"),
-			errors:   m.reg.Counter(prefix + "errors"),
-			sections: m.reg.Counter(prefix + "sections"),
-			records:  m.reg.Counter(prefix + "records"),
-			latency:  m.reg.Histogram(prefix+"latency", nil),
+			requests:  m.reg.Counter(prefix + "requests"),
+			errors:    m.reg.Counter(prefix + "errors"),
+			sections:  m.reg.Counter(prefix + "sections"),
+			records:   m.reg.Counter(prefix + "records"),
+			latency:   m.reg.Histogram(prefix+"latency", nil),
+			verdict:   m.reg.Gauge(prefix + "quality.verdict"),
+			anomalyBP: m.reg.Gauge(prefix + "quality.anomaly_rate_bp"),
+			empty:     m.reg.Counter(prefix + "quality.empty_total"),
 		}
 		m.engines[name] = em
 	}
@@ -152,15 +169,38 @@ func (m *Metrics) snapshot() metricsResponse {
 	}
 }
 
+// ratio returns num/den as a percentage, 0 when the denominator is zero —
+// the guard every hit_rate-style computation on this page goes through.
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// perSecond returns n per uptime second, 0 while the uptime is still too
+// short to divide by meaningfully.
+func perSecond(n int64, uptime time.Duration) float64 {
+	secs := uptime.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(n) / secs
+}
+
 // writeStatusz renders the human-readable status page: uptime, in-flight
-// count, pipeline parallelism, the tree-distance cache counters and a
-// per-engine table of request counts and latency quantiles.  parallelism
-// is the configured Options.Parallelism (0 meaning GOMAXPROCS).
-func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism int) {
+// count, pipeline parallelism, the tree-distance cache counters, pool
+// reuse rates, and a deterministically sorted per-engine table of request
+// counts, uptime-relative request rates, latency quantiles and drift
+// verdicts.  parallelism is the configured Options.Parallelism (0 meaning
+// GOMAXPROCS); q supplies the per-engine verdicts (nil for none).
+func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism int, q *quality.Tracker) {
+	uptime := m.Uptime()
 	fmt.Fprintf(w, "mse-serve status\n")
-	fmt.Fprintf(w, "uptime:    %s\n", m.Uptime().Round(time.Second))
+	fmt.Fprintf(w, "uptime:    %s\n", uptime.Round(time.Second))
 	fmt.Fprintf(w, "in-flight: %d\n", m.InFlight())
-	fmt.Fprintf(w, "requests:  %d\n", m.requests.Value())
+	fmt.Fprintf(w, "requests:  %d (%.2f/s)\n",
+		m.requests.Value(), perSecond(m.requests.Value(), uptime))
 	fmt.Fprintf(w, "faults: panics=%d shed=%d canceled=%d extract-in-flight=%d\n",
 		m.panics.Value(), m.shed.Value(), m.canceled.Value(), m.extractInFlight.Value())
 	if parallelism <= 0 {
@@ -173,15 +213,19 @@ func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism in
 		tc.Enabled, tc.Entries, tc.Lookups, tc.Identical, tc.Hits, tc.Misses,
 		tc.EarlyExits, tc.Evictions, 100*tc.HitRate)
 	ps := poolsSnapshot()
-	fmt.Fprintf(w, "pools: arenas=%v parse(acquires=%d reuses=%d releases=%d) render(acquires=%d reuses=%d releases=%d) apply(acquires=%d reuses=%d)\n",
+	fmt.Fprintf(w, "pools: arenas=%v parse(acquires=%d reuses=%d releases=%d reuse-rate=%.1f%%) render(acquires=%d reuses=%d releases=%d reuse-rate=%.1f%%) apply(acquires=%d reuses=%d reuse-rate=%.1f%%)\n",
 		ps.ArenasEnabled,
 		ps.ParseArena.Acquires, ps.ParseArena.Reuses, ps.ParseArena.Releases,
+		ratio(ps.ParseArena.Reuses, ps.ParseArena.Acquires),
 		ps.RenderScratch.Acquires, ps.RenderScratch.Reuses, ps.RenderScratch.Releases,
-		ps.ApplyScratch.Acquires, ps.ApplyScratch.Reuses)
+		ratio(ps.RenderScratch.Reuses, ps.RenderScratch.Acquires),
+		ps.ApplyScratch.Acquires, ps.ApplyScratch.Reuses,
+		ratio(ps.ApplyScratch.Reuses, ps.ApplyScratch.Acquires))
 	fmt.Fprintf(w, "engines:   %d\n\n", len(engineNames))
 
 	// Show every loaded engine, including ones never hit, plus any
-	// engine that collected metrics before being removed.
+	// engine that collected metrics before being removed; the merged set
+	// is sorted so consecutive scrapes are diffable.
 	m.mu.Lock()
 	names := map[string]bool{}
 	for _, n := range engineNames {
@@ -197,16 +241,18 @@ func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism in
 	}
 	sort.Strings(sorted)
 
-	fmt.Fprintf(w, "%-20s %9s %7s %9s %9s %9s %9s %9s\n",
-		"engine", "requests", "errors", "sections", "records", "p50", "p95", "p99")
+	fmt.Fprintf(w, "%-20s %9s %7s %7s %9s %9s %9s %9s %9s %9s\n",
+		"engine", "requests", "req/s", "errors", "sections", "records", "p50", "p90", "p99", "verdict")
 	for _, n := range sorted {
 		em := m.engine(n)
-		fmt.Fprintf(w, "%-20s %9d %7d %9d %9d %9s %9s %9s\n",
-			n, em.requests.Value(), em.errors.Value(),
+		fmt.Fprintf(w, "%-20s %9d %7.2f %7d %9d %9d %9s %9s %9s %9s\n",
+			n, em.requests.Value(), perSecond(em.requests.Value(), uptime),
+			em.errors.Value(),
 			em.sections.Value(), em.records.Value(),
 			fmtQuantile(em.latency, 0.50),
-			fmtQuantile(em.latency, 0.95),
-			fmtQuantile(em.latency, 0.99))
+			fmtQuantile(em.latency, 0.90),
+			fmtQuantile(em.latency, 0.99),
+			q.Verdict(n))
 	}
 }
 

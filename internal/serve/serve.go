@@ -6,15 +6,24 @@
 //	GET  /engines                 list the loaded engine wrappers
 //	GET  /healthz                 liveness
 //	GET  /metrics                 JSON metrics snapshot (counters, gauges,
-//	                              latency histograms with p50/p95/p99)
+//	                              latency histograms with p50/p90/p95/p99,
+//	                              per-engine quality gauges)
 //	GET  /statusz                 human-readable uptime / per-engine table
+//	                              with drift verdicts
+//	GET  /driftz                  machine-readable per-engine drift report
 //	POST /extract?engine=NAME&q=term+term
 //	                              body: the result page HTML;
 //	                              response: sections with annotated records
 //
 // Error responses are JSON objects {"error": ..., "engine": ...}.  With
 // SetAccessLog the registry emits one structured log line per request
-// (method, path, engine, status, bytes, duration).
+// (method, path, engine, status, bytes, duration, request_id).
+//
+// Every response carries an X-Request-ID header — the client's own, when
+// it sent one, or a generated ID otherwise — correlating the access log,
+// the wide-event journal (SetJournal) and the client's records.  Every
+// extraction also feeds the per-engine drift detector (internal/quality),
+// whose verdicts surface on /statusz, /driftz and the quality gauges.
 package serve
 
 import (
@@ -34,6 +43,8 @@ import (
 
 	"mse/internal/annotate"
 	"mse/internal/core"
+	"mse/internal/obs"
+	"mse/internal/quality"
 )
 
 // MaxPageBytes bounds the request body size (result pages beyond a few MB
@@ -49,20 +60,49 @@ type Registry struct {
 	metrics  *Metrics
 	log      *slog.Logger
 	limiter  *limiter
+	quality  *quality.Tracker
+	journal  *Journal
 }
 
 // NewRegistry returns an empty registry using the given pipeline options
-// for wrapper application.
+// for wrapper application.  Drift detection runs with quality defaults;
+// override with SetQualityConfig before serving.
 func NewRegistry(opts core.Options) *Registry {
 	return &Registry{
 		wrappers: map[string]*core.EngineWrapper{},
 		opts:     opts,
 		metrics:  NewMetrics(),
+		quality:  quality.NewTracker(quality.DefaultConfig()),
 	}
 }
 
 // Metrics returns the registry's metrics set.
 func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// Quality returns the drift tracker feeding /driftz.
+func (r *Registry) Quality() *quality.Tracker { return r.quality }
+
+// SetQualityConfig replaces the drift-detection configuration (zero
+// fields take defaults), resetting any learned baselines.  Call before
+// Handler.
+func (r *Registry) SetQualityConfig(cfg quality.Config) {
+	r.quality = quality.NewTracker(cfg)
+}
+
+// SetJournal installs the wide-event request journal: one JSON line per
+// sampled /extract request written to w (1-in-every sampling; every <= 1
+// journals everything).  nil w disables journaling (the default).  Call
+// before Handler.
+func (r *Registry) SetJournal(w io.Writer, every int) {
+	if w == nil {
+		r.journal = nil
+		return
+	}
+	r.journal = NewJournal(w, every)
+}
+
+// Journal returns the installed journal (nil when disabled).
+func (r *Registry) Journal() *Journal { return r.journal }
 
 // SetAccessLog installs a structured access logger; nil disables logging
 // (the default).
@@ -149,10 +189,20 @@ func (r *Registry) Handler() http.Handler {
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		r.metrics.writeStatusz(w, r.Names(), r.opts.Parallelism)
+		r.metrics.writeStatusz(w, r.Names(), r.opts.Parallelism, r.quality)
+	})
+	mux.HandleFunc("/driftz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.quality.Report())
 	})
 	mux.HandleFunc("/extract", r.handleExtract)
 	return r.instrument(r.recoverer(mux))
+}
+
+// RequestID returns the correlation ID assigned to the request by the
+// instrument middleware ("" outside a served request).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
 }
 
 // statusWriter captures the response status and byte count for metrics
@@ -217,14 +267,23 @@ func (r *Registry) recoverer(h http.Handler) http.Handler {
 	})
 }
 
-// instrument wraps h with the in-flight gauge, the total request counter
-// and the structured access log.
+// instrument wraps h with the in-flight gauge, the total request counter,
+// the correlation ID and the structured access log.  The request ID is the
+// client's X-Request-ID when it sent a plausible one, a generated ID
+// otherwise; either way it is echoed on the response and reachable from
+// handlers via RequestID(ctx).
 func (r *Registry) instrument(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		m := r.metrics
 		m.inFlight.Add(1)
 		defer m.inFlight.Add(-1)
 		m.requests.Inc()
+		rid := req.Header.Get(requestIDHeader)
+		if rid == "" || len(rid) > maxRequestIDLen {
+			rid = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, rid)
+		req = req.WithContext(context.WithValue(req.Context(), ridKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h.ServeHTTP(sw, req)
@@ -236,6 +295,7 @@ func (r *Registry) instrument(h http.Handler) http.Handler {
 				"status", sw.status,
 				"bytes", sw.bytes,
 				"duration", time.Since(start).Round(time.Microsecond),
+				"request_id", rid,
 			)
 		}
 	})
@@ -286,10 +346,34 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	em := r.metrics.engine(name)
 	em.requests.Inc()
 
+	// Wide-event journal: the sampling decision is made up front so the
+	// extraction below can carry a per-request span tree (stage timings)
+	// only when someone will read it.  The deferred emit sees the final
+	// response status via instrument's statusWriter.
+	var jev *JournalEvent
+	if r.journal.Sample() {
+		jev = &JournalEvent{
+			RequestID: RequestID(req.Context()),
+			Engine:    name,
+		}
+		start := time.Now()
+		defer func() {
+			jev.Time = nowRFC3339()
+			jev.TotalMs = float64(time.Since(start)) / float64(time.Millisecond)
+			if sw, ok := w.(*statusWriter); ok {
+				jev.Status = sw.status
+			}
+			r.journal.Write(*jev)
+		}()
+	}
+
 	// Admission control: get an extraction slot before touching the body,
 	// so a shed request costs neither an 8 MB read nor pooled memory.
 	wait, err := r.limiter.acquire(req.Context())
 	r.metrics.queueWait.Observe(wait)
+	if jev != nil {
+		jev.QueueWaitMs = float64(wait) / float64(time.Millisecond)
+	}
 	if err != nil {
 		if errors.Is(err, errShed) {
 			r.metrics.shed.Inc()
@@ -340,13 +424,26 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	// into this string, so it cannot alias the pooled read buffer.
 	html := buf.String()
 
+	// Journaled requests get a per-request span tree for stage timings; a
+	// nil root costs nothing (obs spans are nil-safe).
+	var root *obs.Span
+	if jev != nil {
+		jev.PageBytes = len(html)
+		jev.PageHash = pageHash(html)
+		jev.Query = query
+		root = obs.NewSpan(obs.RootExtract)
+	}
+
 	start := time.Now()
-	sections, lease, err := ew.ExtractLeasedCtx(req.Context(), html, query)
-	em.latency.Observe(time.Since(start))
+	sections, lease, err := ew.ExtractLeasedObs(req.Context(), html, query, root)
+	elapsed := time.Since(start)
+	em.latency.Observe(elapsed)
 	if err != nil {
 		if errors.Is(err, core.ErrCanceled) {
 			// The pipeline aborted cooperatively; every pooled resource is
-			// already back (ExtractLeasedCtx releases on the way out).
+			// already back (ExtractLeasedObs releases on the way out).
+			// The drift detector does not see this page: a vanished client
+			// or an expired deadline says nothing about the engine.
 			r.metrics.canceled.Inc()
 			if errors.Is(req.Context().Err(), context.DeadlineExceeded) {
 				writeError(w, http.StatusServiceUnavailable, name, "deadline exceeded during extraction")
@@ -357,6 +454,12 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 		}
 		em.errors.Inc()
 		r.metrics.errors.Inc()
+		a := r.quality.Observe(name, quality.Observation{Latency: elapsed, Err: true})
+		em.applyQuality(a)
+		if jev != nil {
+			jev.Error = err.Error()
+			journalQuality(jev, a)
+		}
 		writeError(w, http.StatusInternalServerError, name, "extraction failed: "+err.Error())
 		return
 	}
@@ -385,7 +488,55 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 	}
 	em.sections.Add(int64(len(sections)))
 	em.records.Add(records)
+	if len(sections) == 0 {
+		em.empty.Inc()
+	}
+
+	// Feed the drift detector and mirror its state onto the quality
+	// gauges; a verdict change is worth an operator-visible log line.
+	a := r.quality.Observe(name, quality.Observation{
+		Sections: len(sections),
+		Records:  int(records),
+		Latency:  elapsed,
+	})
+	em.applyQuality(a)
+	if a.Changed && r.log != nil {
+		r.log.Warn("drift verdict changed",
+			"engine", name,
+			"verdict", a.Verdict.String(),
+			"anomaly_rate", a.AnomalyRate,
+			"request_id", RequestID(req.Context()),
+		)
+	}
+	if jev != nil {
+		jev.Sections = len(sections)
+		jev.Records = int(records)
+		journalQuality(jev, a)
+		jev.StagesMs = stageTimings(root)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// journalQuality copies an assessment onto a journal event.
+func journalQuality(jev *JournalEvent, a quality.Assessment) {
+	jev.Verdict = a.Verdict.String()
+	jev.Anomalous = a.Anomalous
+	jev.Score = a.Score
+	jev.AnomalyRate = a.AnomalyRate
+}
+
+// stageTimings flattens a per-request span tree into a stage → ms map for
+// the journal (nil span, nil map).
+func stageTimings(root *obs.Span) map[string]float64 {
+	snap := root.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(snap.Children))
+	for _, c := range snap.Children {
+		out[c.Name] = float64(c.Duration) / float64(time.Millisecond)
+	}
+	return out
 }
 
 // bodyPool recycles the request-body read buffers of /extract.

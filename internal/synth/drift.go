@@ -1,0 +1,47 @@
+package synth
+
+// Template drift: the mutation a live search engine performs when its
+// result-page template is redesigned.  A wrapper trained on the old
+// template keeps "succeeding" against the new one — it just extracts
+// fewer sections and records, or nothing — which is exactly the silent
+// failure mode drift detection must notice.  Drifted produces the
+// post-redesign engine: same record *content* distribution (same seed,
+// same section schemas, same query → record-count draws), different
+// *markup*.
+
+// Drifted returns a copy of the engine whose template has been redesigned:
+// the markup style rotates to the next idiom (table → div → list → dl →
+// table), every section's heading switches to a different heading style,
+// and the record format changes shape (bold/number-prefix toggles,
+// single-row layout).  The engine seed is unchanged, so page i of the
+// drifted engine answers the same query as page i of the original and
+// draws its records from the same distribution — only the surrounding
+// tag structure differs.  The receiver is not modified.  Drifted is a pure
+// function: calling it twice yields identical engines.
+func (e *Engine) Drifted() *Engine {
+	old := e.Schema
+	ps := &PageSchema{
+		SiteName:       old.SiteName,
+		Style:          Style((int(old.Style) + 1) % numStyles),
+		NavLinks:       append([]string(nil), old.NavLinks...),
+		FooterLines:    append([]string(nil), old.FooterLines...),
+		HasResultCount: old.HasResultCount,
+		HasSearchBox:   old.HasSearchBox,
+		// Flat layouts only exist for TableStyle; the rotated style drops
+		// the shared table, which is itself a drastic template change.
+		Flat: false,
+	}
+	for _, oss := range old.Sections {
+		ss := *oss // copy; SectionSchema holds only value fields
+		ss.HeadingStyle = HeadingStyle((int(oss.HeadingStyle) + 1) % numHeadingStyles)
+		// Redesigns habitually restyle the records: toggle the ornamental
+		// format bits the old wrapper keyed its tag structures on.
+		ss.Format.TitleBold = !oss.Format.TitleBold
+		ss.Format.NumberPrefix = !oss.Format.NumberPrefix
+		// MultiRow only renders under TableStyle; force the single-row
+		// shape so the rotation is meaningful for every style.
+		ss.Format.MultiRow = false
+		ps.Sections = append(ps.Sections, &ss)
+	}
+	return &Engine{ID: e.ID, Name: e.Name, Schema: ps, seed: e.seed}
+}

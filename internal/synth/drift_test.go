@@ -1,0 +1,64 @@
+package synth
+
+import "testing"
+
+// TestDriftedChangesMarkupNotContent: the drifted engine serves pages with
+// different markup but the same query and a record population drawn from
+// the same schema counts.
+func TestDriftedChangesMarkupNotContent(t *testing.T) {
+	e := NewEngine(55, 3, true)
+	d := e.Drifted()
+
+	if d.Schema.Style == e.Schema.Style {
+		t.Fatalf("style did not rotate: %v", d.Schema.Style)
+	}
+	if d.ID != e.ID || d.Name != e.Name {
+		t.Fatalf("identity changed: %d/%s vs %d/%s", d.ID, d.Name, e.ID, e.Name)
+	}
+	for q := 0; q < 5; q++ {
+		op, dp := e.Page(q), d.Page(q)
+		if op.HTML == dp.HTML {
+			t.Fatalf("page %d: drifted HTML identical to original", q)
+		}
+		if len(op.Query) != len(dp.Query) || op.Query[0] != dp.Query[0] || op.Query[1] != dp.Query[1] {
+			t.Fatalf("page %d: query changed: %v vs %v", q, dp.Query, op.Query)
+		}
+		// Same seed and same per-section record-count draws: the ground
+		// truth population keeps its shape.
+		if got, want := len(dp.Truth.Sections), len(op.Truth.Sections); got != want {
+			t.Fatalf("page %d: section count %d, want %d", q, got, want)
+		}
+		for i := range op.Truth.Sections {
+			if got, want := len(dp.Truth.Sections[i].Records), len(op.Truth.Sections[i].Records); got != want {
+				t.Fatalf("page %d section %d: record count %d, want %d", q, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDriftedDeterministic: Drifted is a pure function of the engine.
+func TestDriftedDeterministic(t *testing.T) {
+	e := NewEngine(7, 11, false)
+	a, b := e.Drifted(), e.Drifted()
+	for q := 0; q < 3; q++ {
+		if a.Page(q).HTML != b.Page(q).HTML {
+			t.Fatalf("page %d: two Drifted() copies disagree", q)
+		}
+	}
+}
+
+// TestDriftedDoesNotMutateOriginal: building drifted pages must leave the
+// original engine's schema and output untouched.
+func TestDriftedDoesNotMutateOriginal(t *testing.T) {
+	e := NewEngine(9, 2, true)
+	before := e.Page(0).HTML
+	d := e.Drifted()
+	_ = d.Page(0)
+	if e.Page(0).HTML != before {
+		t.Fatalf("Drifted mutated the original engine")
+	}
+	if e.Schema.Sections[0].HeadingStyle == d.Schema.Sections[0].HeadingStyle &&
+		e.Schema.Sections[0].Format.TitleBold == d.Schema.Sections[0].Format.TitleBold {
+		t.Fatalf("section schema did not mutate")
+	}
+}
