@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race drift smoke check stress bench benchcmp clean
+.PHONY: all build test vet race drift smoke check stress bench benchcmp benchgate clean
 
 all: build
 
@@ -65,6 +65,13 @@ bench:
 # allocs/op per benchmark).
 benchcmp:
 	$(GO) run ./cmd/mse-benchcmp
+
+# benchgate runs the extraction hot-path benchmark at a fixed iteration
+# count and fails if allocs/op regresses more than 15% against the newest
+# committed BENCH_*.json snapshot (ns/op is informational on shared
+# runners; set MSE_BENCHGATE_NS=1 to enforce it too).  CI smoke.
+benchgate:
+	$(GO) run ./cmd/mse-benchcmp -gate -bench BenchmarkExtractHotPath -threshold 0.15
 
 clean:
 	$(GO) clean ./...

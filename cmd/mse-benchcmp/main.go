@@ -6,16 +6,27 @@
 //
 //	mse-benchcmp                 # diff the two newest BENCH_*.json by mtime
 //	mse-benchcmp OLD.json NEW.json
+//	mse-benchcmp -gate [-bench NAME] [-threshold 0.15]
 //
 // Benchmarks present in only one of the runs are listed without deltas.
 // Repeated runs of the same benchmark within one file are averaged.
+//
+// Gate mode (`-gate`, used by `make benchgate` and CI) runs the named
+// benchmark fresh with a fixed iteration count and compares it against the
+// newest committed BENCH_*.json.  Only allocs/op is gated hard: it is
+// deterministic for a fixed benchtime, so the check is non-flaky on noisy
+// shared runners.  ns/op deltas are printed for the log and only enforced
+// when MSE_BENCHGATE_NS=1 (e.g. on a quiet dedicated box).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -40,9 +51,18 @@ type result struct {
 }
 
 func main() {
+	gate := flag.Bool("gate", false, "run -bench fresh and fail on regression vs the newest BENCH_*.json")
+	benchName := flag.String("bench", "BenchmarkExtractHotPath", "benchmark to gate on (anchored; Parallel variants included)")
+	threshold := flag.Float64("threshold", 0.15, "relative regression allowed before the gate fails")
+	flag.Parse()
+
+	if *gate {
+		os.Exit(runGate(*benchName, *threshold))
+	}
+
 	var oldFile, newFile string
-	switch len(os.Args) {
-	case 1:
+	switch flag.NArg() {
+	case 0:
 		files, err := filepath.Glob("BENCH_*.json")
 		if err != nil || len(files) < 2 {
 			fmt.Fprintf(os.Stderr, "mse-benchcmp: need two BENCH_*.json files (found %d); run `make bench` twice or pass two files\n", len(files))
@@ -50,10 +70,10 @@ func main() {
 		}
 		sort.Slice(files, func(i, j int) bool { return mtime(files[i]) < mtime(files[j]) })
 		oldFile, newFile = files[len(files)-2], files[len(files)-1]
-	case 3:
-		oldFile, newFile = os.Args[1], os.Args[2]
+	case 2:
+		oldFile, newFile = flag.Arg(0), flag.Arg(1)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: mse-benchcmp [OLD.json NEW.json]")
+		fmt.Fprintln(os.Stderr, "usage: mse-benchcmp [OLD.json NEW.json] | mse-benchcmp -gate [-bench NAME] [-threshold F]")
 		os.Exit(2)
 	}
 
@@ -161,8 +181,16 @@ func parseFile(path string) (map[string]*result, error) {
 		return nil, err
 	}
 	defer f.Close()
+	res, err := parseStream(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+func parseStream(r io.Reader) (map[string]*result, error) {
 	out := map[string]*result{}
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	// go test -json splits one benchmark result line across several
 	// "output" events (the name flushes with a trailing tab, the counts
@@ -192,10 +220,10 @@ func parseFile(path string) (map[string]*result, error) {
 	}
 	addBenchLine(out, pending.String())
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+		return nil, fmt.Errorf("no benchmark result lines found")
 	}
 	return out, nil
 }
@@ -259,4 +287,77 @@ func parseBenchLine(line string) (string, *result, bool) {
 		return "", nil, false
 	}
 	return name, r, true
+}
+
+// runGate runs the named benchmark fresh with a fixed iteration count and
+// compares it to the newest committed BENCH_*.json.  allocs/op regressing
+// beyond the threshold fails the gate; allocation counts are deterministic
+// for a fixed -benchtime Nx, which keeps this check non-flaky on shared CI
+// runners.  ns/op deltas are printed and only enforced when
+// MSE_BENCHGATE_NS=1.  Returns the process exit code.
+func runGate(bench string, threshold float64) int {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "mse-benchcmp: no BENCH_*.json baseline; run `make bench` and commit the snapshot")
+		return 1
+	}
+	sort.Slice(files, func(i, j int) bool { return mtime(files[i]) < mtime(files[j]) })
+	baseFile := files[len(files)-1]
+	base, err := parseFile(baseFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchgate: running %s (3000x) against baseline %s\n", bench, baseFile)
+	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", bench,
+		"-benchmem", "-benchtime", "3000x", "-json", ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mse-benchcmp: benchmark run failed:", err)
+		return 1
+	}
+	fresh, err := parseStream(strings.NewReader(string(out)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mse-benchcmp: no results for -bench %s: %v\n", bench, err)
+		return 1
+	}
+
+	gateNS := os.Getenv("MSE_BENCHGATE_NS") == "1"
+	failed := false
+	names := make([]string, 0, len(fresh))
+	for n := range fresh {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		nw := fresh[n]
+		o, ok := base[n]
+		if !ok {
+			fmt.Printf("%-40s no baseline entry; skipped\n", n)
+			continue
+		}
+		status := "ok"
+		if o.a() >= 0 && nw.a() >= 0 && o.a() > 0 && (nw.a()-o.a())/o.a() > threshold {
+			status = fmt.Sprintf("FAIL allocs/op regressed >%.0f%%", threshold*100)
+			failed = true
+		}
+		nsNote := ""
+		if o.ns() > 0 && (nw.ns()-o.ns())/o.ns() > threshold {
+			if gateNS {
+				status = fmt.Sprintf("FAIL ns/op regressed >%.0f%%", threshold*100)
+				failed = true
+			} else {
+				nsNote = " [ns/op above threshold; informational]"
+			}
+		}
+		fmt.Printf("%-40s ns/op %s   allocs/op %s   %s%s\n",
+			n, delta(o.ns(), nw.ns()), delta(o.a(), nw.a()), status, nsNote)
+	}
+	if failed {
+		fmt.Println("benchgate: FAIL")
+		return 1
+	}
+	fmt.Println("benchgate: ok")
+	return 0
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"mse/internal/prune"
+	"mse/internal/synth"
+	"mse/internal/wrapper"
+)
+
+// TestExtractLeasedCtxPreCanceledBothPaths is the cancellation-equivalence
+// check for the compiled fast path: an already-expired context must make
+// ExtractLeasedCtx return ErrCanceled with no partial output on both the
+// compiled and the interpreted path, and every pooled resource acquired
+// before the abort — parse arena, render scratch, prune matcher — must be
+// back in its pool afterwards.
+func TestExtractLeasedCtxPreCanceledBothPaths(t *testing.T) {
+	e := synth.NewEngine(30, 2, true)
+	var samples []*SamplePage
+	for q := 0; q < 3; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	was := wrapper.CompiledEnabled()
+	defer wrapper.SetCompiledEnabled(was)
+
+	gp := e.Page(7)
+	for _, compiled := range []bool{true, false} {
+		wrapper.SetCompiledEnabled(compiled)
+		pools := poolCounters()
+		prBefore := prune.StatsSnapshot()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		sections, lease, err := ew.ExtractLeasedCtx(ctx, gp.HTML, gp.Query)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("compiled=%v: err = %v, want ErrCanceled", compiled, err)
+		}
+		if sections != nil || lease != nil {
+			t.Fatalf("compiled=%v: got sections=%v lease=%v, want nil/nil", compiled, sections, lease)
+		}
+		assertPoolsBalanced(t, pools)
+		prAfter := prune.StatsSnapshot()
+		if acq, rel := prAfter.Acquires-prBefore.Acquires, prAfter.Releases-prBefore.Releases; acq != rel {
+			t.Fatalf("compiled=%v: prune matcher leak: %d acquired, %d released", compiled, acq, rel)
+		}
+	}
+}
+
+// TestExtractCompiledMatchesInterpretedWithCancelToken runs a live (never
+// canceled) token through both paths and compares the extractions: the
+// cancellation plumbing must not perturb output.
+func TestExtractCompiledMatchesInterpretedWithCancelToken(t *testing.T) {
+	e := synth.NewEngine(30, 4, true)
+	var samples []*SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := BuildWrapper(samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	was := wrapper.CompiledEnabled()
+	defer wrapper.SetCompiledEnabled(was)
+
+	gp := e.Page(8)
+	run := func(compiled bool) []byte {
+		wrapper.SetCompiledEnabled(compiled)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		sections, lease, err := ew.ExtractLeasedCtx(ctx, gp.HTML, gp.Query)
+		if err != nil {
+			t.Fatalf("compiled=%v: %v", compiled, err)
+		}
+		defer lease.Release()
+		// Sections are plain strings/ints and outlive the lease by
+		// contract, but marshal before release anyway to mirror callers.
+		sj, err := json.Marshal(sections)
+		if err != nil {
+			t.Fatalf("compiled=%v: marshal: %v", compiled, err)
+		}
+		return sj
+	}
+	ref := run(false)
+	got := run(true)
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("extractions differ under a live cancel token\nref: %s\ngot: %s", ref, got)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"mse/internal/mre"
 	"mse/internal/obs"
 	"mse/internal/par"
+	"mse/internal/prune"
 	"mse/internal/refine"
 	"mse/internal/sect"
 	"mse/internal/wrapper"
@@ -100,6 +101,58 @@ type EngineWrapper struct {
 	Families []*wrapper.Family         `json:"families,omitempty"`
 
 	opt Options
+
+	// compiled caches the lowered form of Wrappers and Families plus the
+	// prune specs derived from them (see Compile).  Built lazily on first
+	// compiled extraction, eagerly by serve.Registry; never serialized.
+	compiled atomic.Pointer[compiledEngine]
+}
+
+// compiledEngine is the compiled form of an EngineWrapper: specs[i] is the
+// prune target of ws[i] for i < len(ws), and of fams[i-len(ws)] after.
+type compiledEngine struct {
+	ws    []*wrapper.CompiledWrapper
+	fams  []*wrapper.CompiledFamily
+	specs []prune.Spec
+}
+
+// Compile lowers the engine's wrappers and families into their compiled
+// forms and derives the DOM-pruning specs (one per wrapper/family, index-
+// aligned).  Idempotent; call after mutating Wrappers/Families (e.g. a
+// registry wrapper swap) to refresh the cache.  Extraction compiles
+// lazily, so calling this is an optimization, not a requirement.
+func (ew *EngineWrapper) Compile() {
+	ce := &compiledEngine{}
+	for _, w := range ew.Wrappers {
+		ce.ws = append(ce.ws, wrapper.Compile(w))
+		ce.specs = append(ce.specs, prune.Spec{Path: w.Pref, Wildcard: -1})
+	}
+	for _, f := range ew.Families {
+		ce.fams = append(ce.fams, wrapper.CompileFamily(f))
+		switch f.Type {
+		case wrapper.Type1:
+			ce.specs = append(ce.specs, prune.Spec{Path: f.Pref, Wildcard: -1})
+		case wrapper.Type2:
+			pat := append(append(dom.CompactPath(nil), f.Pref...), f.SPref...)
+			ce.specs = append(ce.specs, prune.Spec{Path: pat, Wildcard: len(f.Pref)})
+		default:
+			// Unknown family type (corrupt JSON): Family.Apply would return
+			// nil, so give it a spec no document node can match to keep the
+			// index alignment without producing candidates.
+			ce.specs = append(ce.specs, prune.Spec{Path: dom.CompactPath{{Tag: "\x00none"}}, Wildcard: -1})
+		}
+	}
+	ew.compiled.Store(ce)
+}
+
+// compiledEngine returns the cached compiled form, building it on first
+// use.  Concurrent first calls may both compile; either result is valid.
+func (ew *EngineWrapper) compiledEngine() *compiledEngine {
+	if ce := ew.compiled.Load(); ce != nil {
+		return ce
+	}
+	ew.Compile()
+	return ew.compiled.Load()
 }
 
 // Section is an extracted section; see wrapper.ExtractedSection.
@@ -381,13 +434,74 @@ func (l *PageLease) Release() {
 func (ew *EngineWrapper) ExtractLeased(html string, query []string) ([]*Section, *PageLease) {
 	root := ew.opt.Obs.Start(obs.RootExtract)
 	defer root.End()
+	lease := &PageLease{}
+	sections := ew.extractLeasedInto(lease, html, query, nil, root, ew.opt.Wrapper)
+	return sections, lease
+}
+
+// extractLeasedInto parses, renders and extracts html into the caller's
+// lease, choosing between the compiled fast path (prune + pruned render +
+// compiled wrappers) and the interpreted legacy path.  The lease's fields
+// are populated as resources are acquired, so a caller with a deferred
+// lease.Release covers every partial state when the walk panics
+// (cancellation); callers without recovery keep ExtractLeased's historical
+// propagate-the-panic behaviour.
+func (ew *EngineWrapper) extractLeasedInto(lease *PageLease, html string, query []string, tok *cancel.Token, root *obs.Span, wopt wrapper.Options) []*Section {
+	if wrapper.CompiledEnabled() {
+		return ew.extractCompiled(lease, html, query, tok, root, wopt)
+	}
 	renderSp := root.Child(obs.StepRender)
 	t0 := renderSp.Begin()
 	doc, arena := htmlparse.ParsePooled(html)
-	page := layout.RenderPooled(doc)
+	lease.arena = arena
+	lease.page = layout.RenderPooledCancel(doc, tok)
 	renderSp.AddSince(t0)
-	sections := ew.extractFromPage(page, query, root, ew.opt.Wrapper)
-	return sections, &PageLease{page: page, arena: arena}
+	return ew.extractFromPage(lease.page, query, root, wopt)
+}
+
+// extractCompiled is the compiled extraction hot path: one pruning DFS
+// locates every wrapper's candidate subtrees and marks them on the DOM,
+// the render materializes full lines only where extraction can read them
+// (skeletons elsewhere, early stop after the last candidate region), and
+// the compiled wrappers consume the pre-located candidates instead of
+// re-walking the tree.  Output is byte-identical to the interpreted path
+// (differential-tested across the synthetic testbed).
+func (ew *EngineWrapper) extractCompiled(lease *PageLease, html string, query []string, tok *cancel.Token, root *obs.Span, wopt wrapper.Options) []*Section {
+	ce := ew.compiledEngine()
+	renderSp := root.Child(obs.StepRender)
+	t0 := renderSp.Begin()
+	doc, arena := htmlparse.ParsePooled(html)
+	lease.arena = arena
+	renderSp.AddSince(t0)
+
+	pruneSp := root.Child(obs.StepPrune)
+	t0 = pruneSp.Begin()
+	res := prune.Run(doc, ce.specs, tok)
+	pruneSp.AddSince(t0)
+	defer res.Release()
+
+	t0 = renderSp.Begin()
+	page, info := layout.RenderPooledPruned(doc, tok, res.Outer())
+	lease.page = page
+	renderSp.AddSince(t0)
+	prune.AddRendered(info.FullLines, info.SkeletonLines)
+
+	var all []*Section
+	wrapSp := root.Child(obs.StepWrapper)
+	t0 = wrapSp.Begin()
+	for i, cw := range ce.ws {
+		if s := cw.Apply(page, res.Cands(i), query, wopt); s != nil {
+			all = append(all, s)
+		}
+	}
+	wrapSp.AddSince(t0)
+	famSp := root.Child(obs.StepFamilies)
+	t0 = famSp.Begin()
+	for i, cf := range ce.fams {
+		all = append(all, cf.ApplyCands(page, res.Cands(len(ce.ws)+i), wopt)...)
+	}
+	famSp.AddSince(t0)
+	return finishSections(all, root)
 }
 
 // ExtractFromPage is Extract for an already rendered page.
@@ -417,6 +531,12 @@ func (ew *EngineWrapper) extractFromPage(page *layout.Page, query []string, span
 		all = append(all, f.Apply(page, query, opt)...)
 	}
 	famSp.AddSince(t0)
+	return finishSections(all, span)
+}
+
+// finishSections orders and deduplicates the raw per-wrapper extractions —
+// the shared tail of the interpreted and compiled paths.
+func finishSections(all []*Section, span *obs.Span) []*Section {
 	sort.SliceStable(all, func(i, j int) bool {
 		if all[i].Start != all[j].Start {
 			return all[i].Start < all[j].Start

@@ -6,8 +6,6 @@ import (
 	"fmt"
 
 	"mse/internal/cancel"
-	"mse/internal/htmlparse"
-	"mse/internal/layout"
 	"mse/internal/obs"
 )
 
@@ -124,14 +122,8 @@ func (ew *EngineWrapper) ExtractLeasedObs(ctx context.Context, html string, quer
 			panic(r)
 		}
 	}()
-	renderSp := root.Child(obs.StepRender)
-	t0 := renderSp.Begin()
-	doc, arena := htmlparse.ParsePooled(html)
-	lease.arena = arena
-	lease.page = layout.RenderPooledCancel(doc, tok)
-	renderSp.AddSince(t0)
 	wopt := ew.opt.Wrapper
 	wopt.Cancel = tok
-	sections = ew.extractFromPage(lease.page, query, root, wopt)
+	sections = ew.extractLeasedInto(lease, html, query, tok, root, wopt)
 	return sections, lease, nil
 }

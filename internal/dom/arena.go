@@ -190,6 +190,9 @@ func resetNodes(slab []Node) {
 		n.LastChild = nil
 		n.PrevSibling = nil
 		n.NextSibling = nil
+		n.Mark = 0
+		n.SpanStart = 0
+		n.SpanEnd = 0
 		n.fp.Store(nil)
 	}
 }

@@ -1,0 +1,50 @@
+package dom
+
+import "sync/atomic"
+
+// SigAtom is an interned identifier for a root-signature string (see
+// mining.RootSignature).  Compiled wrappers resolve their separator
+// signatures to atoms once at compile time; per-page classification then
+// compares small integers instead of strings.  The zero atom means "not
+// interned": a signature that no compiled wrapper ever registered.
+type SigAtom int32
+
+// sigTable is the copy-on-write interning table.  Lookups are lock-free
+// loads of an immutable map; interning (compile time only, bounded by the
+// set of distinct separator signatures across all learned wrappers) copies
+// the map under a CAS loop.
+var sigTable atomic.Pointer[map[string]SigAtom]
+
+func init() {
+	m := make(map[string]SigAtom)
+	sigTable.Store(&m)
+}
+
+// InternSig returns the atom for sig, registering it if needed.  Intended
+// for wrapper compilation, not per-page work: every call may copy the
+// table.
+func InternSig(sig string) SigAtom {
+	for {
+		old := sigTable.Load()
+		if a, ok := (*old)[sig]; ok {
+			return a
+		}
+		next := make(map[string]SigAtom, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+		a := SigAtom(len(next) + 1)
+		next[sig] = a
+		if sigTable.CompareAndSwap(old, &next) {
+			return a
+		}
+	}
+}
+
+// LookupSigBytes returns the atom for the signature in buf, or 0 when the
+// signature was never interned.  The map index through string(buf) does
+// not allocate (the compiler recognizes the map[string]...[string(bytes)]
+// pattern), so per-block classification stays allocation-free.
+func LookupSigBytes(buf []byte) SigAtom {
+	return (*sigTable.Load())[string(buf)]
+}

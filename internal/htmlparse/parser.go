@@ -6,64 +6,99 @@ import (
 	"mse/internal/dom"
 )
 
-// voidElements never have children; a start tag is a complete element.
-var voidElements = map[string]bool{
-	"area": true, "base": true, "br": true, "col": true, "embed": true,
-	"hr": true, "img": true, "input": true, "link": true, "meta": true,
-	"param": true, "source": true, "track": true, "wbr": true,
+// The tag-classification predicates below are string switches rather than
+// map[string]bool sets: the compiler lowers a string switch to a
+// length-bucketed compare tree, so the per-tag classification on the parse
+// hot path costs a couple of comparisons instead of a map hash + probe.
+// The sets are identical to the former map literals.
+
+// isVoidElement reports tags that never have children; a start tag is a
+// complete element.
+func isVoidElement(tag string) bool {
+	switch tag {
+	case "area", "base", "br", "col", "embed", "hr", "img", "input", "link",
+		"meta", "param", "source", "track", "wbr":
+		return true
+	}
+	return false
 }
 
-// autoClose maps a tag to the set of open tags it implicitly closes when it
-// starts.  This captures the tag-soup recovery browsers apply to the
-// table/list/paragraph structures that dominate 2006-era result pages.
-var autoClose = map[string]map[string]bool{
-	"p":        {"p": true},
-	"li":       {"li": true},
-	"dt":       {"dt": true, "dd": true},
-	"dd":       {"dt": true, "dd": true},
-	"option":   {"option": true},
-	"optgroup": {"option": true, "optgroup": true},
-	"tr":       {"tr": true, "td": true, "th": true},
-	"td":       {"td": true, "th": true},
-	"th":       {"td": true, "th": true},
-	"thead":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
-	"tbody":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
-	"tfoot":    {"thead": true, "tbody": true, "tfoot": true, "tr": true, "td": true, "th": true},
-	"colgroup": {"colgroup": true},
+// hasAutoClose reports whether a start tag implicitly closes some set of
+// open tags (see autoCloses).  This captures the tag-soup recovery
+// browsers apply to the table/list/paragraph structures that dominate
+// 2006-era result pages.
+func hasAutoClose(tag string) bool {
+	switch tag {
+	case "p", "li", "dt", "dd", "option", "optgroup", "tr", "td", "th",
+		"thead", "tbody", "tfoot", "colgroup":
+		return true
+	}
+	return false
 }
 
-// autoCloseBarrier stops the implicit-close scan: an implicit close never
-// crosses one of these container tags.
-var autoCloseBarrier = map[string]bool{
-	"table": true, "td": true, "th": true, "body": true, "html": true,
-	"#document": true, "div": true, "ul": true, "ol": true, "dl": true,
-	"select": true,
+// autoCloses reports whether a starting tag implicitly closes an open one.
+func autoCloses(tag, open string) bool {
+	switch tag {
+	case "p":
+		return open == "p"
+	case "li":
+		return open == "li"
+	case "dt", "dd":
+		return open == "dt" || open == "dd"
+	case "option":
+		return open == "option"
+	case "optgroup":
+		return open == "option" || open == "optgroup"
+	case "tr":
+		return open == "tr" || open == "td" || open == "th"
+	case "td", "th":
+		return open == "td" || open == "th"
+	case "thead", "tbody", "tfoot":
+		switch open {
+		case "thead", "tbody", "tfoot", "tr", "td", "th":
+			return true
+		}
+	case "colgroup":
+		return open == "colgroup"
+	}
+	return false
 }
 
-// Per-tag boundary sets for implicit closes, built once: a <td> must be
-// able to close a previous <td> but its scan must not escape the enclosing
-// <tr>; similarly <li> must not escape <ul>.
-var (
-	cellBarrier = map[string]bool{"tr": true, "table": true, "body": true, "html": true, "#document": true}
-	rowBarrier  = map[string]bool{"thead": true, "tbody": true, "tfoot": true, "table": true, "body": true, "html": true, "#document": true}
-	liBarrier   = map[string]bool{"ul": true, "ol": true, "body": true, "html": true, "#document": true}
-	dlBarrier   = map[string]bool{"dl": true, "body": true, "html": true, "#document": true}
-)
-
-// barrierFor returns the boundary set for implicitly closing tag.
-func barrierFor(tag string) map[string]bool {
+// isBarrier reports whether an open tag stops tag's implicit-close scan:
+// an implicit close never crosses one of these container tags.  The
+// per-tag boundary sets exist because a <td> must be able to close a
+// previous <td> but its scan must not escape the enclosing <tr>;
+// similarly <li> must not escape <ul>.
+func isBarrier(tag, open string) bool {
 	switch tag {
 	case "td", "th":
-		return cellBarrier
+		switch open {
+		case "tr", "table", "body", "html", "#document":
+			return true
+		}
 	case "tr":
-		return rowBarrier
+		switch open {
+		case "thead", "tbody", "tfoot", "table", "body", "html", "#document":
+			return true
+		}
 	case "li":
-		return liBarrier
+		switch open {
+		case "ul", "ol", "body", "html", "#document":
+			return true
+		}
 	case "dt", "dd":
-		return dlBarrier
+		switch open {
+		case "dl", "body", "html", "#document":
+			return true
+		}
 	default:
-		return autoCloseBarrier
+		switch open {
+		case "table", "td", "th", "body", "html", "#document", "div", "ul",
+			"ol", "dl", "select":
+			return true
+		}
 	}
+	return false
 }
 
 // parser builds a dom tree from tokens.
@@ -227,8 +262,8 @@ func (p *parser) startTag(tok token) {
 		p.ensureBody()
 	}
 	// Implicit closes (e.g. <li> closes an open <li>).
-	if closes, ok := autoClose[name]; ok {
-		p.implicitClose(closes, barrierFor(name))
+	if hasAutoClose(name) {
+		p.implicitClose(name)
 	}
 	// Structural implications for table parts.
 	switch name {
@@ -246,7 +281,7 @@ func (p *parser) startTag(tok token) {
 		}
 	}
 	attrs := p.convertAttrs(tok.attrs)
-	if voidElements[name] || tok.typ == selfClosingTagToken {
+	if isVoidElement(name) || tok.typ == selfClosingTagToken {
 		n := p.newNode(dom.ElementNode)
 		n.Tag = name
 		n.Attrs = attrs
@@ -256,16 +291,17 @@ func (p *parser) startTag(tok token) {
 	p.push(name, attrs)
 }
 
-// implicitClose pops open elements whose tags are in closes, stopping at
-// any barrier tag.  Formatting elements and open <p> elements in the way
-// are popped as well (they have implied end tags in this position).
-func (p *parser) implicitClose(closes, barrier map[string]bool) {
+// implicitClose pops open elements that the starting tag name implicitly
+// closes, stopping at any barrier tag.  Formatting elements and open <p>
+// elements in the way are popped as well (they have implied end tags in
+// this position).
+func (p *parser) implicitClose(name string) {
 	for len(p.stack) > 1 {
 		label := p.top().Label()
-		if barrier[label] {
+		if isBarrier(name, label) {
 			return
 		}
-		if closes[label] || isFormatting(label) || label == "p" {
+		if autoCloses(name, label) || isFormatting(label) || label == "p" {
 			p.stack = p.stack[:len(p.stack)-1]
 			continue
 		}
@@ -308,7 +344,7 @@ func (p *parser) push(tag string, attrs []dom.Attr) {
 }
 
 func (p *parser) endTag(name string) {
-	if voidElements[name] {
+	if isVoidElement(name) {
 		return // </br> and friends are ignored
 	}
 	// Find the matching open element.

@@ -51,19 +51,41 @@ type tokenizer struct {
 	rawTag string
 	// attrBuf backs token.attrs; reused for every start tag.
 	attrBuf []attr
+	// nameCache is a small direct-mapped cache in front of atomLower: a
+	// page repeats the same handful of tag and attribute names thousands
+	// of times, and on a hit canonicalization is one short string compare
+	// instead of a case scan plus an interning-map probe.  Keys alias
+	// z.src, which outlives the tokenizer's use of the cache.
+	nameCache [32]struct{ raw, canon string }
+}
+
+// lowerName is atomLower behind the tokenizer's name cache.
+func (z *tokenizer) lowerName(s string) string {
+	if len(s) == 0 || len(s) > 24 {
+		return atomLower(s)
+	}
+	h := (uint(s[0])*2 + uint(len(s))) & uint(len(z.nameCache)-1)
+	e := &z.nameCache[h]
+	if e.raw == s {
+		return e.canon
+	}
+	c := atomLower(s)
+	e.raw, e.canon = s, c
+	return c
 }
 
 func newTokenizer(src string) *tokenizer {
 	return &tokenizer{src: src}
 }
 
-// rawTextElements consume their content without interpreting markup.
-var rawTextElements = map[string]bool{
-	"script":   true,
-	"style":    true,
-	"textarea": true,
-	"title":    true,
-	"xmp":      true,
+// isRawTextElement reports elements that consume their content without
+// interpreting markup.
+func isRawTextElement(tag string) bool {
+	switch tag {
+	case "script", "style", "textarea", "title", "xmp":
+		return true
+	}
+	return false
 }
 
 // next returns the next token.
@@ -206,7 +228,7 @@ func (z *tokenizer) endTag() token {
 	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
 		z.pos++
 	}
-	name := atomLower(z.src[start:z.pos])
+	name := z.lowerName(z.src[start:z.pos])
 	// Skip to '>' tolerant of stray attributes on end tags.
 	for z.pos < len(z.src) && z.src[z.pos] != '>' {
 		z.pos++
@@ -223,13 +245,13 @@ func (z *tokenizer) startTag() token {
 	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
 		z.pos++
 	}
-	name := atomLower(z.src[start:z.pos])
+	name := z.lowerName(z.src[start:z.pos])
 	attrs, selfClosing := z.attributes()
 	typ := startTagToken
 	if selfClosing {
 		typ = selfClosingTagToken
 	}
-	if typ == startTagToken && rawTextElements[name] {
+	if typ == startTagToken && isRawTextElement(name) {
 		z.rawTag = name
 	}
 	return token{typ: typ, data: name, attrs: attrs}
@@ -269,7 +291,7 @@ func (z *tokenizer) attributes() (attrs []attr, selfClosing bool) {
 			}
 			z.pos++
 		}
-		key := atomLower(z.src[start:z.pos])
+		key := z.lowerName(z.src[start:z.pos])
 		if key == "" {
 			z.pos++ // skip stray byte
 			continue

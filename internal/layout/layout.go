@@ -141,9 +141,10 @@ type Page struct {
 	Doc   *dom.Node
 	Lines []Line
 
-	// span maps each DOM node that contains at least one rendered leaf to
-	// the [first, last] line indices it covers.
-	span map[*dom.Node][2]int
+	// The node→line-span index lives on the DOM nodes themselves
+	// (dom.Node.SpanStart/SpanEnd), written by mergeSpan during the render
+	// walk; Span and computeForest read it back.  Node-resident spans keep
+	// the hot path free of map hashing and of a per-render map allocation.
 
 	// forests memoizes Forest results by line range: record and section
 	// comparisons query the same ranges over and over (every pairwise
@@ -162,8 +163,10 @@ type Page struct {
 // Span returns the inclusive [first, last] line range covered by n and
 // whether n renders any content at all.
 func (p *Page) Span(n *dom.Node) (first, last int, ok bool) {
-	s, ok := p.span[n]
-	return s[0], s[1], ok
+	if n.SpanEnd == 0 {
+		return 0, 0, false
+	}
+	return int(n.SpanStart), int(n.SpanEnd) - 1, true
 }
 
 // Forest returns the minimal tag forest covering content lines
@@ -194,10 +197,10 @@ func (p *Page) Forest(start, end int) []*dom.Node {
 func (p *Page) computeForest(start, end int) []*dom.Node {
 	var out []*dom.Node
 	p.Doc.Walk(func(n *dom.Node) bool {
-		s, ok := p.span[n]
-		if !ok {
+		if n.SpanEnd == 0 {
 			return true // no rendered content below; keep descending
 		}
+		s := [2]int{int(n.SpanStart), int(n.SpanEnd) - 1}
 		if s[0] >= start && s[1] < end {
 			out = append(out, n)
 			return false // whole subtree inside: this is a forest root
@@ -239,7 +242,8 @@ func (p *Page) SectionRoot(start, end int) *dom.Node {
 // allocations are batched through a fresh scratch that is reclaimed by the
 // garbage collector along with the page.
 func Render(doc *dom.Node) *Page {
-	return renderWith(doc, new(renderScratch), false, nil)
+	p, _ := renderWith(doc, new(renderScratch), false, nil, renderModeFull, 0)
+	return p
 }
 
 // RenderCancel is Render polling a cancellation token every checkpointStride
@@ -247,7 +251,8 @@ func Render(doc *dom.Node) *Page {
 // when the caller's context is canceled (the walk panics with
 // cancel.Signal; the boundary that created the token recovers it).
 func RenderCancel(doc *dom.Node, tok *cancel.Token) *Page {
-	return renderWith(doc, new(renderScratch), false, tok)
+	p, _ := renderWith(doc, new(renderScratch), false, tok, renderModeFull, 0)
+	return p
 }
 
 // RenderPooled is Render with the scratch drawn from a process-wide pool;
@@ -264,17 +269,50 @@ func RenderPooled(doc *dom.Node) *Page {
 // aborted render can never leak a scratch out of the pool.
 func RenderPooledCancel(doc *dom.Node, tok *cancel.Token) *Page {
 	if !dom.ArenasEnabled() {
-		return renderWith(doc, new(renderScratch), false, tok)
+		p, _ := renderWith(doc, new(renderScratch), false, tok, renderModeFull, 0)
+		return p
 	}
-	return renderWith(doc, acquireScratch(), true, tok)
+	p, _ := renderWith(doc, acquireScratch(), true, tok, renderModeFull, 0)
+	return p
 }
 
-func renderWith(doc *dom.Node, sc *renderScratch, pooled bool, tok *cancel.Token) *Page {
+// PruneInfo reports what a pruned render did: how many content lines were
+// materialized in full (inside or directly above marked candidate
+// regions) and how many were emitted as skeletons (exact index, x and
+// type, empty content).
+type PruneInfo struct {
+	FullLines     int
+	SkeletonLines int
+}
+
+// RenderPooledPruned renders a page whose DOM has been marked by a
+// prune.Run pass: content lines overlapping a marked candidate subtree
+// (plus the line directly above each region, which wrapper application
+// reads as the section heading) carry their full text, attributes and
+// links, all other lines are skeletons with exact index, x coordinate and
+// type code, and the walk stops once the given number of outermost marked
+// regions has closed — lines past the last candidate region are never
+// read by extraction.  outer <= 0 with no marks yields an empty line
+// list.  Cancellation and pooling behave exactly as RenderPooledCancel.
+func RenderPooledPruned(doc *dom.Node, tok *cancel.Token, outer int) (*Page, PruneInfo) {
+	if !dom.ArenasEnabled() {
+		return renderWith(doc, new(renderScratch), false, tok, renderModePruned, outer)
+	}
+	return renderWith(doc, acquireScratch(), true, tok, renderModePruned, outer)
+}
+
+type renderMode int
+
+const (
+	renderModeFull renderMode = iota
+	renderModePruned
+)
+
+func renderWith(doc *dom.Node, sc *renderScratch, pooled bool, tok *cancel.Token, mode renderMode, outer int) (*Page, PruneInfo) {
 	sc.ensure(doc.Size())
 	page := &Page{
 		Doc:     doc,
 		Lines:   sc.lines[:0],
-		span:    sc.span,
 		forests: sc.forests,
 		scratch: sc,
 		pooled:  pooled,
@@ -296,7 +334,18 @@ func renderWith(doc *dom.Node, sc *renderScratch, pooled bool, tok *cancel.Token
 	// must abort the render regardless of page size.  Checked only after
 	// the recovery defer above is armed, so the pooled scratch cannot leak.
 	tok.Check()
-	r := &renderer{page: page, sheet: collectStylesheet(doc), sc: sc, tok: tok}
+	r := &renderer{
+		page:    page,
+		sheet:   collectStylesheet(doc),
+		sc:      sc,
+		tok:     tok,
+		pruning: mode == renderModePruned,
+		prevIdx: -1,
+	}
+	if r.pruning {
+		r.outerLeft = outer
+		r.stopping = outer <= 0
+	}
 	ctx := context{
 		x:     bodyMarginX,
 		width: pageWidth - 2*bodyMarginX,
@@ -304,26 +353,8 @@ func renderWith(doc *dom.Node, sc *renderScratch, pooled bool, tok *cancel.Token
 	}
 	r.walk(doc, ctx)
 	r.flush(false)
-	// Build node spans bottom-up from the leaves.
-	for i := range page.Lines {
-		for _, leaf := range page.Lines[i].Leaves {
-			for n := leaf; n != nil; n = n.Parent {
-				s, ok := page.span[n]
-				if !ok {
-					page.span[n] = [2]int{i, i}
-					continue
-				}
-				if i < s[0] {
-					s[0] = i
-				}
-				if i > s[1] {
-					s[1] = i
-				}
-				page.span[n] = s
-			}
-		}
-	}
-	return page
+	// Node spans are built incrementally in addBytes — see mergeSpan.
+	return page, PruneInfo{FullLines: r.fullLines, SkeletonLines: r.skelLines}
 }
 
 // Layout constants of the simulated viewport.
@@ -362,6 +393,10 @@ type context struct {
 	attr   TextAttr
 	inLink bool
 	href   string
+	// full is set while the walk is inside a marked candidate subtree of a
+	// pruned render: content added under it makes the current line a full
+	// line.  Always false outside pruned renders.
+	full bool
 }
 
 // renderer accumulates content lines.  The per-line accumulation buffers
@@ -386,6 +421,66 @@ type renderer struct {
 	isRule  bool
 
 	lastFlushWasBreak bool
+
+	// Pruned-render state (see RenderPooledPruned).  lineFull marks the
+	// current line as containing content from a marked subtree; prevIdx is
+	// the index of the last emitted skeleton line, retroactively upgraded
+	// to full content when the following line opens a marked region (-1
+	// when the previous line is full, blank, or absent).  outerLeft counts
+	// outermost marked regions still ahead; when it reaches zero the walk
+	// stops at the next line boundary (stopping -> stopped).
+	pruning   bool
+	lineFull  bool
+	prevIdx   int
+	outerLeft int
+	stopping  bool
+	stopped   bool
+	fullLines int
+	skelLines int
+}
+
+// halted reports whether a pruned walk should stop visiting nodes.  The
+// stop is deferred until the current line has flushed (started is false):
+// inline content following the last marked region may legally share — and
+// extend — the final full line, so truncating mid-line would change it.
+func (r *renderer) halted() bool {
+	if r.stopped {
+		return true
+	}
+	if r.stopping && !r.started {
+		r.stopped = true
+		return true
+	}
+	return false
+}
+
+// closeOuter records that an outermost marked region has been fully
+// walked; after the last one the renderer stops at the next line boundary
+// (no extraction read can reach lines past the final candidate region).
+func (r *renderer) closeOuter() {
+	r.outerLeft--
+	if r.outerLeft <= 0 {
+		r.stopping = true
+	}
+}
+
+// upgradePrev retroactively materializes the previously emitted skeleton
+// line from the preserved accumulation buffers, exactly as a full flush
+// would have: wrapper application reads the line directly above a marked
+// region's span as the section heading.
+func (r *renderer) upgradePrev() {
+	if r.prevIdx < 0 {
+		return
+	}
+	sc := r.sc
+	l := &r.page.Lines[r.prevIdx]
+	sc.norm = appendNormalized(sc.norm[:0], sc.prevText)
+	l.Text = string(sc.norm)
+	l.Attrs = sc.attrs.allocCopy(sc.prevAttrBuf)
+	l.Links = sc.links.allocCopy(sc.prevLinkBuf)
+	r.prevIdx = -1
+	r.fullLines++
+	r.skelLines--
 }
 
 // flush emits the accumulated line, if any.  explicitBreak marks flushes
@@ -395,7 +490,10 @@ func (r *renderer) flush(explicitBreak bool) {
 		if explicitBreak {
 			if r.lastFlushWasBreak {
 				// Two explicit breaks in a row: a visible blank line.
+				// Blank lines carry no content in either render mode, so
+				// the previous-line upgrade machinery resets here.
 				r.emit(Line{Text: "", X: r.lineX, Type: BlankLine})
+				r.prevIdx = -1
 			}
 			r.lastFlushWasBreak = true
 		}
@@ -403,26 +501,49 @@ func (r *renderer) flush(explicitBreak bool) {
 	}
 	sc := r.sc
 	typ := r.lineType()
-	sc.norm = appendNormalized(sc.norm[:0], sc.text)
-	line := Line{
-		Text:   string(sc.norm),
-		X:      r.lineX,
-		Type:   typ,
-		Attrs:  sc.attrs.allocCopy(sc.attrBuf),
-		Leaves: sc.leaves.allocCopy(sc.leafBuf),
-		Links:  sc.links.allocCopy(sc.linkBuf),
+	if r.pruning && !r.lineFull {
+		// Skeleton line: no content from any marked subtree.  Index, x and
+		// type codes are exact (record mining reads them), and the leaves
+		// are recorded so the node-span index matches the full render
+		// everywhere; text, attributes and links stay empty unless the
+		// next line opens a marked region (see upgradePrev).  The
+		// accumulation buffers are preserved by swapping, not reset.
+		line := r.emitEmpty()
+		line.X = r.lineX
+		line.Type = typ
+		line.Leaves = sc.leaves.allocCopy(sc.leafBuf)
+		r.prevIdx = len(r.page.Lines) - 1
+		r.skelLines++
+		sc.text, sc.prevText = sc.prevText[:0], sc.text
+		sc.attrBuf, sc.prevAttrBuf = sc.prevAttrBuf[:0], sc.attrBuf
+		sc.linkBuf, sc.prevLinkBuf = sc.prevLinkBuf[:0], sc.linkBuf
+		sc.leafBuf = sc.leafBuf[:0]
+	} else {
+		sc.norm = appendNormalized(sc.norm[:0], sc.text)
+		line := r.emitEmpty()
+		line.Text = string(sc.norm)
+		line.X = r.lineX
+		line.Type = typ
+		line.Attrs = sc.attrs.allocCopy(sc.attrBuf)
+		line.Leaves = sc.leaves.allocCopy(sc.leafBuf)
+		line.Links = sc.links.allocCopy(sc.linkBuf)
+		if !r.pruning && len(line.Leaves) > 0 {
+			// Extraction never reads Path/CPath (they feed the training
+			// pipeline), so pruned renders skip building them even for
+			// full lines.
+			leaf := line.Leaves[0]
+			line.Path = dom.AppendPath(dom.TagPath(sc.paths.alloc(dom.PathLen(leaf)))[:0], leaf)
+			line.CPath = line.Path.AppendCompact(dom.CompactPath(sc.cpaths.alloc(line.Path.CompactLen()))[:0])
+		}
+		r.prevIdx = -1
+		r.fullLines++
+		sc.text = sc.text[:0]
+		sc.leafBuf = sc.leafBuf[:0]
+		sc.attrBuf = sc.attrBuf[:0]
+		sc.linkBuf = sc.linkBuf[:0]
 	}
-	if len(line.Leaves) > 0 {
-		leaf := line.Leaves[0]
-		line.Path = dom.AppendPath(dom.TagPath(sc.paths.alloc(dom.PathLen(leaf)))[:0], leaf)
-		line.CPath = line.Path.AppendCompact(dom.CompactPath(sc.cpaths.alloc(line.Path.CompactLen()))[:0])
-	}
-	r.emit(line)
-	sc.text = sc.text[:0]
-	sc.leafBuf = sc.leafBuf[:0]
-	sc.attrBuf = sc.attrBuf[:0]
-	sc.linkBuf = sc.linkBuf[:0]
 	r.started = false
+	r.lineFull = false
 	r.hasText, r.hasLink, r.hasImg, r.hasForm, r.isRule = false, false, false, false, false
 	r.lastFlushWasBreak = explicitBreak
 }
@@ -430,6 +551,14 @@ func (r *renderer) flush(explicitBreak bool) {
 func (r *renderer) emit(l Line) {
 	l.Num = len(r.page.Lines)
 	r.page.Lines = append(r.page.Lines, l)
+}
+
+// emitEmpty appends a zero line with its Num set and returns a pointer for
+// the caller to fill in place, sparing flush a full Line struct copy per
+// content line.  The pointer is only valid until the next append.
+func (r *renderer) emitEmpty() *Line {
+	r.page.Lines = append(r.page.Lines, Line{Num: len(r.page.Lines)})
+	return &r.page.Lines[len(r.page.Lines)-1]
 }
 
 func (r *renderer) lineType() LineType {
@@ -467,6 +596,11 @@ func (r *renderer) addBytes(text []byte, leaf *dom.Node, ctx context, kind conte
 	}
 	if leaf != nil {
 		sc.leafBuf = append(sc.leafBuf, leaf)
+		r.mergeSpan(leaf)
+	}
+	if ctx.full && !r.lineFull {
+		r.lineFull = true
+		r.upgradePrev()
 	}
 	switch kind {
 	case kindText:
@@ -487,6 +621,29 @@ func (r *renderer) addBytes(text []byte, leaf *dom.Node, ctx context, kind conte
 		r.hasForm = true
 	case kindRule:
 		r.isRule = true
+	}
+}
+
+// mergeSpan extends the node-span index to cover leaf on the line being
+// accumulated.  That line's final index is exactly len(page.Lines): blank
+// lines are only emitted between flushed lines, never under one that has
+// started.  Lines arrive in increasing order, so extending is setting
+// SpanEnd; the walk stops at the first ancestor already extended to this
+// line, whose own ancestors were extended by the same earlier walk —
+// amortized O(1) per leaf instead of O(depth).  (Re-rendering the same
+// tree in full mode converges to the identical state: a stale SpanEnd
+// equals the final value, so an early break just leaves it correct.)
+func (r *renderer) mergeSpan(leaf *dom.Node) {
+	end := int32(len(r.page.Lines)) + 1
+	for n := leaf; n != nil; n = n.Parent {
+		if n.SpanEnd == 0 {
+			n.SpanStart, n.SpanEnd = end-1, end
+			continue
+		}
+		if n.SpanEnd == end {
+			break
+		}
+		n.SpanEnd = end
 	}
 }
 

@@ -57,10 +57,11 @@ func (c *chunk[T]) allocCopy(src []T) []T {
 	return dst
 }
 
-// reset zeroes the retained slab (so pooled memory does not pin dead
-// pages) and rewinds the allocator.
+// reset zeroes the retained slab's used prefix (so pooled memory does not
+// pin dead pages — entries past the high-water mark were zeroed by the
+// previous reset and never rewritten) and rewinds the allocator.
 func (c *chunk[T]) reset() {
-	clear(c.cur)
+	clear(c.cur[:c.used])
 	c.used = 0
 }
 
@@ -70,7 +71,6 @@ func (c *chunk[T]) reset() {
 // buffers.
 type renderScratch struct {
 	lines   []Line
-	span    map[*dom.Node][2]int
 	forests map[[2]int][]*dom.Node
 
 	leaves chunk[*dom.Node]
@@ -88,6 +88,15 @@ type renderScratch struct {
 	linkBuf  []string
 	cellBuf  []*dom.Node
 	spanBuf  []int
+
+	// Previous-line buffers of the pruned render mode: when a skeleton
+	// line is flushed its accumulation buffers are swapped in here instead
+	// of being reset, so the line can be retroactively upgraded to full
+	// content if the next line turns out to start a marked region (wrapper
+	// application reads the line directly above a section's span).
+	prevText    []byte
+	prevAttrBuf []TextAttr
+	prevLinkBuf []string
 }
 
 // ensure pre-sizes the scratch for a document of the given node count, so
@@ -95,9 +104,6 @@ type renderScratch struct {
 func (sc *renderScratch) ensure(nodeCount int) {
 	if est := nodeCount/4 + 8; cap(sc.lines) < est {
 		sc.lines = make([]Line, 0, est)
-	}
-	if sc.span == nil {
-		sc.span = make(map[*dom.Node][2]int, nodeCount)
 	}
 	if sc.forests == nil {
 		sc.forests = make(map[[2]int][]*dom.Node, 16)
@@ -132,7 +138,7 @@ var scratchPool = sync.Pool{New: func() any { return new(renderScratch) }}
 func acquireScratch() *renderScratch {
 	sc := scratchPool.Get().(*renderScratch)
 	scratchStats.acquires.Add(1)
-	if sc.span != nil {
+	if sc.forests != nil {
 		scratchStats.reuses.Add(1)
 	}
 	return sc
@@ -151,7 +157,6 @@ func (p *Page) Release() {
 	p.scratch = nil
 	clear(p.Lines)
 	sc.lines = p.Lines[:0]
-	clear(sc.span)
 	clear(sc.forests)
 	sc.leaves.reset()
 	sc.attrs.reset()
@@ -170,8 +175,12 @@ func (p *Page) Release() {
 	clear(sc.cellBuf)
 	sc.cellBuf = sc.cellBuf[:0]
 	sc.spanBuf = sc.spanBuf[:0]
+	sc.prevText = sc.prevText[:0]
+	clear(sc.prevAttrBuf)
+	sc.prevAttrBuf = sc.prevAttrBuf[:0]
+	clear(sc.prevLinkBuf)
+	sc.prevLinkBuf = sc.prevLinkBuf[:0]
 	p.Lines = nil
-	p.span = nil
 	p.forests = nil
 	scratchStats.releases.Add(1)
 	scratchPool.Put(sc)
@@ -184,8 +193,26 @@ func (p *Page) Release() {
 func appendCollapsed(dst []byte, s string) []byte {
 	base := len(dst)
 	space := false
-	for _, r := range s {
-		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' || r == 0xA0 {
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			// ASCII fast path: no rune decode, no AppendRune call.
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' {
+				space = true
+				i++
+				continue
+			}
+			if space && len(dst) > base {
+				dst = append(dst, ' ')
+			}
+			space = false
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		r, w := utf8.DecodeRuneInString(s[i:])
+		i += w
+		if r == 0xA0 {
 			space = true
 			continue
 		}
@@ -198,6 +225,9 @@ func appendCollapsed(dst []byte, s string) []byte {
 	return dst
 }
 
+// asciiSpace marks the ASCII bytes unicode.IsSpace reports as whitespace.
+var asciiSpace = [utf8.RuneSelf]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
 // appendNormalized appends src to dst with leading/trailing whitespace
 // dropped and inner runs collapsed to single spaces — byte-identical to
 // strings.Join(strings.Fields(string(src)), " ") without the two
@@ -205,20 +235,30 @@ func appendCollapsed(dst []byte, s string) []byte {
 func appendNormalized(dst, src []byte) []byte {
 	i := 0
 	for i < len(src) {
-		r, w := rune(src[i]), 1
-		if r >= utf8.RuneSelf {
-			r, w = utf8.DecodeRune(src[i:])
-		}
-		if unicode.IsSpace(r) {
-			i += w
-			continue
+		// Skip whitespace; ASCII bytes take the table, multi-byte runes
+		// the full unicode.IsSpace check (identical for ASCII input).
+		if c := src[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] {
+				i++
+				continue
+			}
+		} else {
+			r, w := utf8.DecodeRune(src[i:])
+			if unicode.IsSpace(r) {
+				i += w
+				continue
+			}
 		}
 		start := i
 		for i < len(src) {
-			r, w = rune(src[i]), 1
-			if r >= utf8.RuneSelf {
-				r, w = utf8.DecodeRune(src[i:])
+			if c := src[i]; c < utf8.RuneSelf {
+				if asciiSpace[c] {
+					break
+				}
+				i++
+				continue
 			}
+			r, w := utf8.DecodeRune(src[i:])
 			if unicode.IsSpace(r) {
 				break
 			}

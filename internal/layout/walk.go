@@ -8,23 +8,31 @@ import (
 	"mse/internal/dom"
 )
 
-// blockElements open a new content line before and after their content.
-var blockElements = map[string]bool{
-	"address": true, "article": true, "aside": true, "blockquote": true,
-	"body": true, "center": true, "dd": true, "div": true, "dl": true,
-	"dt": true, "fieldset": true, "footer": true, "form": true,
-	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
-	"header": true, "li": true, "main": true, "nav": true, "ol": true,
-	"p": true, "pre": true, "section": true, "table": true, "tbody": true,
-	"td": true, "tfoot": true, "th": true, "thead": true, "tr": true,
-	"ul": true, "caption": true,
+// isBlockElement reports elements that open a new content line before and
+// after their content.
+func isBlockElement(tag string) bool {
+	// A string switch, not a map set: the compiler lowers it to a
+	// length-bucketed compare tree, keeping the per-element render walk
+	// free of map hashing.
+	switch tag {
+	case "address", "article", "aside", "blockquote", "body", "center",
+		"dd", "div", "dl", "dt", "fieldset", "footer", "form",
+		"h1", "h2", "h3", "h4", "h5", "h6", "header", "li", "main", "nav",
+		"ol", "p", "pre", "section", "table", "tbody", "td", "tfoot", "th",
+		"thead", "tr", "ul", "caption":
+		return true
+	}
+	return false
 }
 
-// skippedElements render nothing at all.
-var skippedElements = map[string]bool{
-	"head": true, "script": true, "style": true, "title": true,
-	"meta": true, "link": true, "base": true, "noscript": true,
-	"template": true, "map": true,
+// isSkippedElement reports elements that render nothing at all.
+func isSkippedElement(tag string) bool {
+	switch tag {
+	case "head", "script", "style", "title", "meta", "link", "base",
+		"noscript", "template", "map":
+		return true
+	}
+	return false
 }
 
 // fontSizeTable maps <font size=1..7> to pixel sizes.
@@ -35,8 +43,26 @@ var headingSizes = map[string]int{
 	"h1": 32, "h2": 24, "h3": 19, "h4": 16, "h5": 13, "h6": 11,
 }
 
-// walk traverses the DOM emitting content lines.
+// walk traverses the DOM emitting content lines.  In a pruned render it
+// additionally tracks marked candidate subtrees (content under them makes
+// lines full, see RenderPooledPruned) and stops once the last outermost
+// marked region has closed.
 func (r *renderer) walk(n *dom.Node, ctx context) {
+	if r.pruning {
+		if r.halted() {
+			return
+		}
+		if !ctx.full && n.Mark != 0 {
+			ctx.full = true
+			r.walkInner(n, ctx)
+			r.closeOuter()
+			return
+		}
+	}
+	r.walkInner(n, ctx)
+}
+
+func (r *renderer) walkInner(n *dom.Node, ctx context) {
 	r.checkpoint()
 	switch n.Type {
 	case dom.TextNode:
@@ -57,7 +83,7 @@ func (r *renderer) walk(n *dom.Node, ctx context) {
 	}
 
 	tag := n.Tag
-	if skippedElements[tag] {
+	if isSkippedElement(tag) {
 		return
 	}
 
@@ -114,7 +140,7 @@ func (r *renderer) walk(n *dom.Node, ctx context) {
 		ctx.attr = applyFontTag(n, ctx.attr)
 	}
 
-	isBlock := blockElements[tag]
+	isBlock := isBlockElement(tag)
 	if isBlock {
 		r.flush(false)
 		if ml := r.sheet.marginLeft(n); ml > 0 {
@@ -163,28 +189,60 @@ func adjustBlockContext(n *dom.Node, ctx context) context {
 // as extra columns).
 func (r *renderer) walkTable(table *dom.Node, ctx context) {
 	for section := table.FirstChild; section != nil; section = section.NextSibling {
+		// Table sections bypass walk(), so the pruned-render mark and halt
+		// handling is replicated here.
+		sctx := ctx
+		closeSection := false
+		if r.pruning {
+			if r.halted() {
+				return
+			}
+			if !sctx.full && section.Mark != 0 {
+				sctx.full = true
+				closeSection = true
+			}
+		}
 		switch section.Tag {
 		case "thead", "tbody", "tfoot":
 			for row := section.FirstChild; row != nil; row = row.NextSibling {
 				if row.Tag == "tr" {
-					r.walkRow(row, ctx)
+					r.walkRow(row, sctx)
 				} else {
-					r.walk(row, ctx)
+					r.walk(row, sctx)
 				}
 			}
 		case "tr":
-			r.walkRow(section, ctx)
+			r.walkRow(section, sctx)
 		case "caption", "colgroup", "col":
 			if section.Tag == "caption" {
-				r.walk(section, ctx)
+				r.walk(section, sctx)
 			}
 		default:
-			r.walk(section, ctx)
+			r.walk(section, sctx)
+		}
+		if closeSection {
+			r.closeOuter()
 		}
 	}
 }
 
 func (r *renderer) walkRow(row *dom.Node, ctx context) {
+	// Rows bypass walk(): replicate its pruned-render mark handling.
+	if r.pruning {
+		if r.halted() {
+			return
+		}
+		if !ctx.full && row.Mark != 0 {
+			ctx.full = true
+			r.walkRowInner(row, ctx)
+			r.closeOuter()
+			return
+		}
+	}
+	r.walkRowInner(row, ctx)
+}
+
+func (r *renderer) walkRowInner(row *dom.Node, ctx context) {
 	// Cells accumulate in the shared scratch buffers.  Nested tables re-enter
 	// walkRow, so this frame only owns sc.cellBuf[base:] and indexes into it
 	// (a nested row may grow — and reallocate — the buffer underneath us).
@@ -224,11 +282,25 @@ func (r *renderer) walkRow(row *dom.Node, ctx context) {
 		if cell.Tag == "th" {
 			cctx.attr.Style |= Bold
 		}
+		// Cells bypass walk() too: handle marked cells here.
+		closeCell := false
+		if r.pruning {
+			if r.halted() {
+				break
+			}
+			if !cctx.full && cell.Mark != 0 {
+				cctx.full = true
+				closeCell = true
+			}
+		}
 		r.flush(false)
 		for c := cell.FirstChild; c != nil; c = c.NextSibling {
 			r.walk(c, cctx)
 		}
 		r.flush(false)
+		if closeCell {
+			r.closeOuter()
+		}
 		offset += span
 	}
 	sc.cellBuf = sc.cellBuf[:base]

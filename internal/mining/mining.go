@@ -295,6 +295,26 @@ func RootSignature(n *dom.Node) string {
 	return sb.String()
 }
 
+// AppendRootSignature appends n's root signature to dst and returns the
+// extended slice.  The bytes are exactly RootSignature(n); the compiled
+// wrapper path uses it with a reused buffer to classify blocks without
+// building a string per root.
+func AppendRootSignature(dst []byte, n *dom.Node) []byte {
+	dst = append(dst, n.Label()...)
+	dst = append(dst, '(')
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		dst = append(dst, c.Label()...)
+		dst = append(dst, '[')
+		for g := c.FirstChild; g != nil; g = g.NextSibling {
+			dst = append(dst, g.Label()...)
+			dst = append(dst, ',')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, ')')
+	return dst
+}
+
 // lineSignatureStartSets returns, for every (type, x) signature repeated
 // at least twice within [start, end), the lines at which it occurs.  The
 // sets are returned in order of each signature's first occurrence.

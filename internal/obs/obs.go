@@ -35,15 +35,20 @@ import (
 // paper, in execution order.  core.BuildWrapper emits exactly one span per
 // step under its "build_wrapper" root.
 const (
-	StepRender      = "render"      // step 1: layout rendering
-	StepMRE         = "mre"         // step 2: multi-record section extraction
-	StepDSE         = "dse"         // step 3: dynamic section extraction
-	StepRefine      = "refine"      // step 4: MR/DS refinement
-	StepMining      = "mining"      // step 5: record mining
-	StepGranularity = "granularity" // step 6: granularity resolution
-	StepCluster     = "cluster"     // step 7: cross-page instance grouping
+	StepRender      = "render"        // step 1: layout rendering
+	StepMRE         = "mre"           // step 2: multi-record section extraction
+	StepDSE         = "dse"           // step 3: dynamic section extraction
+	StepRefine      = "refine"        // step 4: MR/DS refinement
+	StepMining      = "mining"        // step 5: record mining
+	StepGranularity = "granularity"   // step 6: granularity resolution
+	StepCluster     = "cluster"       // step 7: cross-page instance grouping
 	StepWrapper     = "wrapper_build" // step 8: wrapper construction
-	StepFamilies    = "families"    // step 9: section families
+	StepFamilies    = "families"      // step 9: section families
+
+	// StepPrune is the candidate-location / DOM-marking pass of the
+	// compiled extraction path (internal/prune); extraction-only, not one
+	// of the nine pipeline steps.
+	StepPrune = "prune"
 )
 
 // PipelineSteps lists the nine step span names in pipeline order.

@@ -12,6 +12,7 @@ import (
 	"mse/internal/editdist"
 	"mse/internal/layout"
 	"mse/internal/obs"
+	"mse/internal/prune"
 	"mse/internal/quality"
 	"mse/internal/wrapper"
 )
@@ -132,14 +133,24 @@ type poolsJSON struct {
 	ParseArena    dom.ArenaStats            `json:"parse_arena"`
 	RenderScratch layout.ScratchStats       `json:"render_scratch"`
 	ApplyScratch  wrapper.ApplyScratchStats `json:"apply_scratch"`
+
+	// Compiled-extraction fast path: wrapper lowering hits and the
+	// DOM-pruning pass (candidate location, skipped subtrees, full vs
+	// skeleton line counts).
+	CompiledEnabled bool                  `json:"compiled_enabled"`
+	Compiled        wrapper.CompiledStats `json:"compiled"`
+	Prune           prune.Stats           `json:"prune"`
 }
 
 func poolsSnapshot() *poolsJSON {
 	return &poolsJSON{
-		ArenasEnabled: dom.ArenasEnabled(),
-		ParseArena:    dom.ArenaStatsSnapshot(),
-		RenderScratch: layout.ScratchStatsSnapshot(),
-		ApplyScratch:  wrapper.ApplyScratchStatsSnapshot(),
+		ArenasEnabled:   dom.ArenasEnabled(),
+		ParseArena:      dom.ArenaStatsSnapshot(),
+		RenderScratch:   layout.ScratchStatsSnapshot(),
+		ApplyScratch:    wrapper.ApplyScratchStatsSnapshot(),
+		CompiledEnabled: wrapper.CompiledEnabled(),
+		Compiled:        wrapper.CompiledStatsSnapshot(),
+		Prune:           prune.StatsSnapshot(),
 	}
 }
 

@@ -123,6 +123,9 @@ func (r *Registry) Add(name string, data []byte) error {
 		return fmt.Errorf("serve: wrapper %q: %w", name, err)
 	}
 	ew.SetOptions(r.opts)
+	// Compile eagerly so the first request after a wrapper swap pays no
+	// lowering cost (and signature interning happens off the hot path).
+	ew.Compile()
 	r.mu.Lock()
 	r.wrappers[name] = &ew
 	r.mu.Unlock()

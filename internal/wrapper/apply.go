@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -17,7 +18,10 @@ import (
 // across requests when arenas are enabled.
 type applyScratch struct {
 	cleaner dse.LineCleaner
-	used    bool
+	// sigBuf is the reused root-signature buffer of the compiled partition
+	// path (see partitionBySepCompiled).
+	sigBuf []byte
+	used   bool
 }
 
 var applyScratchPool = sync.Pool{New: func() any { return new(applyScratch) }}
@@ -203,8 +207,10 @@ func partitionBySep(p *layout.Page, start, end int, sep Separator) []visual.Bloc
 		roots = kids
 	}
 	starts := 0
-	interiors := 0
 	var sigStarts []int
+	// Tag lists of the unknown-signature fallback, derived at most once per
+	// call instead of re-parsing every stored signature for every root.
+	var startTags, interiorTags []string
 	for _, r := range roots {
 		sig := mining.RootSignature(r)
 		isStart := sep.isStart(sig)
@@ -213,17 +219,18 @@ func partitionBySep(p *layout.Page, start, end int, sep Separator) []visual.Bloc
 			// showed, e.g. a record without its optional snippet).  Fall
 			// back to the tag level: it starts a record when its tag is a
 			// known start tag that never occurs inside records.
+			if startTags == nil {
+				startTags = tagsOf(sep.StartSigs)
+				interiorTags = tagsOf(sep.InteriorSigs)
+			}
 			tag := sigTag(sig)
-			isStart = containsTag(sep.StartSigs, tag) && !containsTag(sep.InteriorSigs, tag)
+			isStart = containsString(startTags, tag) && !containsString(interiorTags, tag)
 		}
-		switch {
-		case isStart:
+		if isStart {
 			starts++
 			if s, _, ok := p.Span(r); ok {
 				sigStarts = append(sigStarts, s)
 			}
-		case sep.isInterior(sig):
-			interiors++
 		}
 	}
 	switch {
@@ -248,30 +255,21 @@ func partitionBySep(p *layout.Page, start, end int, sep Separator) []visual.Bloc
 
 // sigTag extracts the root tag from a structural signature.
 func sigTag(sig string) string {
-	if i := indexByte(sig, '('); i >= 0 {
+	if i := strings.IndexByte(sig, '('); i >= 0 {
 		return sig[:i]
 	}
 	return sig
 }
 
-func indexByte(s string, b byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == b {
-			return i
-		}
-	}
-	return -1
-}
-
-// containsTag reports whether any signature in the list has the given root
-// tag.
-func containsTag(sigs []string, tag string) bool {
+// tagsOf maps a signature list to its root tags.  The result is non-nil
+// even for an empty list, so callers can use nil as a not-yet-computed
+// sentinel.
+func tagsOf(sigs []string) []string {
+	out := make([]string, 0, len(sigs))
 	for _, s := range sigs {
-		if sigTag(s) == tag {
-			return true
-		}
+		out = append(out, sigTag(s))
 	}
-	return false
+	return out
 }
 
 func blocksFromStarts(p *layout.Page, start, end int, starts []int) []visual.Block {

@@ -99,17 +99,21 @@ func TestBlocksFromStartsClamping(t *testing.T) {
 	}
 }
 
-func TestSigTagAndContainsTag(t *testing.T) {
+func TestSigTagAndTagsOf(t *testing.T) {
 	if got := sigTag("tr(td[a,])"); got != "tr" {
 		t.Fatalf("sigTag = %q", got)
 	}
 	if got := sigTag("plain"); got != "plain" {
 		t.Fatalf("sigTag without children = %q", got)
 	}
-	if !containsTag([]string{"li(a[#text,])", "tr(td[])"}, "tr") {
-		t.Fatalf("containsTag missed tr")
+	tags := tagsOf([]string{"li(a[#text,])", "tr(td[])"})
+	if !containsString(tags, "tr") || !containsString(tags, "li") {
+		t.Fatalf("tagsOf = %v", tags)
 	}
-	if containsTag([]string{"li(a[#text,])"}, "tr") {
-		t.Fatalf("containsTag false positive")
+	if containsString(tagsOf([]string{"li(a[#text,])"}), "tr") {
+		t.Fatalf("tagsOf false positive")
+	}
+	if tagsOf(nil) == nil {
+		t.Fatalf("tagsOf(nil) must be non-nil (lazy-computation sentinel)")
 	}
 }
