@@ -66,12 +66,18 @@ bench:
 benchcmp:
 	$(GO) run ./cmd/mse-benchcmp
 
-# benchgate runs the extraction hot-path benchmark at a fixed iteration
-# count and fails if allocs/op regresses more than 15% against the newest
-# committed BENCH_*.json snapshot (ns/op is informational on shared
-# runners; set MSE_BENCHGATE_NS=1 to enforce it too).  CI smoke.
+# benchgate runs the extraction hot-path benchmarks (raw, cached, batch)
+# at a fixed iteration count and fails if allocs/op regresses more than
+# 15% against the newest committed BENCH_*.json snapshot (ns/op is
+# informational on shared runners; set MSE_BENCHGATE_NS=1 to enforce it
+# too).  The -benchmarks allowlist enforces only the deterministic-alloc
+# paths: the batch variants ride through HTTP buffers whose alloc counts
+# jitter run to run, so they print as informational.  CI smoke.
 benchgate:
-	$(GO) run ./cmd/mse-benchcmp -gate -bench BenchmarkExtractHotPath -threshold 0.15
+	$(GO) run ./cmd/mse-benchcmp -gate \
+		-bench 'BenchmarkExtractHotPath|BenchmarkExtractCachedHotPath|BenchmarkExtractBatch' \
+		-benchmarks 'BenchmarkExtractHotPath|BenchmarkExtractCachedHotPath' \
+		-threshold 0.15
 
 clean:
 	$(GO) clean ./...

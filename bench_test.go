@@ -10,14 +10,25 @@ package mse
 // both regenerates the paper's results and reports throughput.
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"mse/internal/baseline"
 	"mse/internal/core"
 	"mse/internal/editdist"
 	"mse/internal/eval"
+	"mse/internal/excache"
+	"mse/internal/serve"
 	"mse/internal/synth"
 )
 
@@ -457,4 +468,216 @@ func BenchmarkExtractionThroughput(b *testing.B) {
 		gp := pages[i%len(pages)]
 		w.Extract(gp.HTML, gp.Query)
 	}
+}
+
+// benchServeRegistry builds a serving registry with one trained wrapper
+// ("bench") over the BenchmarkExtractHotPath engine.  cacheBytes > 0
+// installs the content-addressed result cache.
+func benchServeRegistry(b *testing.B, cacheBytes int64) (*serve.Registry, *synth.Engine) {
+	b.Helper()
+	e := synth.NewEngine(2006, 5, true)
+	var samples []*core.SamplePage
+	for q := 0; q < 5; q++ {
+		gp := e.Page(q)
+		samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+	}
+	ew, err := core.BuildWrapper(samples, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := json.Marshal(ew)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry(core.DefaultOptions())
+	if cacheBytes > 0 {
+		reg.SetCache(cacheBytes)
+	}
+	if err := reg.Add("bench", data); err != nil {
+		b.Fatal(err)
+	}
+	return reg, e
+}
+
+// BenchmarkExtractCachedHotPath measures the serving path with the
+// content-addressed result cache at controlled hit rates.  hit=100 is the
+// pure repeat-page cost (hash + shard lookup); hit=90 and hit=99 mix in
+// misses by evicting one pool entry before extracting it, so a miss pays
+// the full parse/prune/render/apply pipeline plus cache refill.  Compare
+// against BenchmarkExtractHotPath — the PR 6 always-miss cost — for the
+// cache speedup at each hit rate.
+func BenchmarkExtractCachedHotPath(b *testing.B) {
+	const poolSize = 10
+	run := func(missEvery int) func(b *testing.B) {
+		return func(b *testing.B) {
+			reg, e := benchServeRegistry(b, 64<<20)
+			ctx := context.Background()
+			pages := make([]*synth.GenPage, poolSize)
+			keys := make([]excache.Key, poolSize)
+			total := 0
+			for i := range pages {
+				pages[i] = e.Page(5 + i)
+				keys[i] = excache.Key{
+					Engine: "bench", Gen: 1,
+					Hash: excache.HashPage(pages[i].HTML, pages[i].Query),
+				}
+				total += len(pages[i].HTML)
+				if _, _, err := reg.ExtractCached(ctx, "bench", pages[i].HTML, pages[i].Query); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(total / poolSize))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := i % poolSize
+				if missEvery > 0 && i%missEvery == 0 {
+					reg.Cache().Remove(keys[p])
+				}
+				if _, _, err := reg.ExtractCached(ctx, "bench", pages[p].HTML, pages[p].Query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("hit=100", run(0))
+	b.Run("hit=99", run(100))
+	b.Run("hit=90", run(10))
+}
+
+// BenchmarkExtractCachedHotPathParallel is the loaded-service shape of the
+// cached path: GOMAXPROCS goroutines on a shared registry, mostly hits,
+// with periodic evictions so concurrent misses on the same key exercise
+// the singleflight collapse (one extraction, the rest wait for its entry).
+func BenchmarkExtractCachedHotPathParallel(b *testing.B) {
+	reg, e := benchServeRegistry(b, 64<<20)
+	ctx := context.Background()
+	gp := e.Page(7)
+	key := excache.Key{Engine: "bench", Gen: 1, Hash: excache.HashPage(gp.HTML, gp.Query)}
+	if _, _, err := reg.ExtractCached(ctx, "bench", gp.HTML, gp.Query); err != nil {
+		b.Fatal(err)
+	}
+	var ops atomic.Int64
+	b.SetBytes(int64(len(gp.HTML)))
+	b.ReportAllocs()
+	// At least 8 goroutines even on a single-P machine, so evicted keys see
+	// concurrent misses and the singleflight path actually runs.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if ops.Add(1)%512 == 0 {
+				reg.Cache().Remove(key)
+			}
+			if _, _, err := reg.ExtractCached(ctx, "bench", gp.HTML, gp.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	s := reg.Cache().Stats()
+	b.ReportMetric(float64(s.Collapsed), "collapsed")
+}
+
+// BenchmarkExtractBatch measures POST /extract/batch amortization over the
+// single-request path, end to end through HTTP.  single16 issues 16
+// sequential /extract requests per op; batch16 ships the same 16 distinct
+// pages in one /extract/batch request (cache off — the win is transport
+// and admission amortization); dedup16 ships 16 copies of one page, which
+// the within-batch content-hash dedupe collapses into a single extraction;
+// warm16 is batch16 against a warmed cache (pure hit assembly).  Compare
+// ns/page across the variants.
+func BenchmarkExtractBatch(b *testing.B) {
+	const items = 16
+	type batchItem struct {
+		Engine string `json:"engine"`
+		Q      string `json:"q"`
+		HTML   string `json:"html"`
+	}
+	makeBody := func(pages []*synth.GenPage) []byte {
+		its := make([]batchItem, 0, items)
+		for i := 0; i < items; i++ {
+			gp := pages[i%len(pages)]
+			its = append(its, batchItem{Engine: "bench", Q: strings.Join(gp.Query, "+"), HTML: gp.HTML})
+		}
+		body, err := json.Marshal(map[string]any{"items": its})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	}
+	post := func(b *testing.B, url string, body []byte) {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	distinct := func(e *synth.Engine) []*synth.GenPage {
+		pages := make([]*synth.GenPage, items)
+		for i := range pages {
+			pages[i] = e.Page(5 + i)
+		}
+		return pages
+	}
+	perPage := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*items), "ns/page")
+	}
+
+	b.Run("single16", func(b *testing.B) {
+		reg, e := benchServeRegistry(b, 0)
+		srv := httptest.NewServer(reg.Handler())
+		defer srv.Close()
+		pages := distinct(e)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, gp := range pages {
+				post(b, srv.URL+"/extract?engine=bench&q="+url.QueryEscape(strings.Join(gp.Query, "+")),
+					[]byte(gp.HTML))
+			}
+		}
+		perPage(b)
+	})
+	b.Run("batch16", func(b *testing.B) {
+		reg, e := benchServeRegistry(b, 0)
+		srv := httptest.NewServer(reg.Handler())
+		defer srv.Close()
+		body := makeBody(distinct(e))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, srv.URL+"/extract/batch", body)
+		}
+		perPage(b)
+	})
+	b.Run("dedup16", func(b *testing.B) {
+		reg, e := benchServeRegistry(b, 0)
+		srv := httptest.NewServer(reg.Handler())
+		defer srv.Close()
+		body := makeBody([]*synth.GenPage{e.Page(7)})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, srv.URL+"/extract/batch", body)
+		}
+		perPage(b)
+	})
+	b.Run("warm16", func(b *testing.B) {
+		reg, e := benchServeRegistry(b, 64<<20)
+		srv := httptest.NewServer(reg.Handler())
+		defer srv.Close()
+		body := makeBody(distinct(e))
+		post(b, srv.URL+"/extract/batch", body) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, srv.URL+"/extract/batch", body)
+		}
+		perPage(b)
+	})
 }

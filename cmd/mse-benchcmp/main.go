@@ -6,7 +6,7 @@
 //
 //	mse-benchcmp                 # diff the two newest BENCH_*.json by mtime
 //	mse-benchcmp OLD.json NEW.json
-//	mse-benchcmp -gate [-bench NAME] [-threshold 0.15]
+//	mse-benchcmp -gate [-bench NAME] [-threshold 0.15] [-benchmarks REGEX]
 //
 // Benchmarks present in only one of the runs are listed without deltas.
 // Repeated runs of the same benchmark within one file are averaged.
@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -54,10 +55,20 @@ func main() {
 	gate := flag.Bool("gate", false, "run -bench fresh and fail on regression vs the newest BENCH_*.json")
 	benchName := flag.String("bench", "BenchmarkExtractHotPath", "benchmark to gate on (anchored; Parallel variants included)")
 	threshold := flag.Float64("threshold", 0.15, "relative regression allowed before the gate fails")
+	enforce := flag.String("benchmarks", "",
+		"gate mode: regex allowlist of benchmark names to enforce; non-matching results are informational (empty = enforce all)")
 	flag.Parse()
 
 	if *gate {
-		os.Exit(runGate(*benchName, *threshold))
+		var enforceRE *regexp.Regexp
+		if *enforce != "" {
+			var err error
+			if enforceRE, err = regexp.Compile(*enforce); err != nil {
+				fmt.Fprintln(os.Stderr, "mse-benchcmp: bad -benchmarks regex:", err)
+				os.Exit(2)
+			}
+		}
+		os.Exit(runGate(*benchName, *threshold, enforceRE))
 	}
 
 	var oldFile, newFile string
@@ -294,8 +305,12 @@ func parseBenchLine(line string) (string, *result, bool) {
 // beyond the threshold fails the gate; allocation counts are deterministic
 // for a fixed -benchtime Nx, which keeps this check non-flaky on shared CI
 // runners.  ns/op deltas are printed and only enforced when
-// MSE_BENCHGATE_NS=1.  Returns the process exit code.
-func runGate(bench string, threshold float64) int {
+// MSE_BENCHGATE_NS=1.  With enforce non-nil, only benchmarks matching the
+// regex can fail the gate — the allowlist lets a -bench pattern pick up
+// newly added benchmarks (for the log) without older baselines that lack
+// them, or their different cost profile, tripping the gate.  Returns the
+// process exit code.
+func runGate(bench string, threshold float64, enforce *regexp.Regexp) int {
 	files, err := filepath.Glob("BENCH_*.json")
 	if err != nil || len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "mse-benchcmp: no BENCH_*.json baseline; run `make bench` and commit the snapshot")
@@ -324,6 +339,17 @@ func runGate(bench string, threshold float64) int {
 	}
 
 	gateNS := os.Getenv("MSE_BENCHGATE_NS") == "1"
+	if gateResults(os.Stdout, base, fresh, threshold, enforce, gateNS) {
+		fmt.Println("benchgate: FAIL")
+		return 1
+	}
+	fmt.Println("benchgate: ok")
+	return 0
+}
+
+// gateResults compares fresh results to the baseline and prints one line
+// per benchmark; it reports whether any enforced benchmark regressed.
+func gateResults(w io.Writer, base, fresh map[string]*result, threshold float64, enforce *regexp.Regexp, gateNS bool) bool {
 	failed := false
 	names := make([]string, 0, len(fresh))
 	for n := range fresh {
@@ -332,32 +358,31 @@ func runGate(bench string, threshold float64) int {
 	sort.Strings(names)
 	for _, n := range names {
 		nw := fresh[n]
+		enforced := enforce == nil || enforce.MatchString(n)
 		o, ok := base[n]
 		if !ok {
-			fmt.Printf("%-40s no baseline entry; skipped\n", n)
+			fmt.Fprintf(w, "%-40s no baseline entry; skipped\n", n)
 			continue
 		}
 		status := "ok"
-		if o.a() >= 0 && nw.a() >= 0 && o.a() > 0 && (nw.a()-o.a())/o.a() > threshold {
+		if !enforced {
+			status = "informational (not in -benchmarks allowlist)"
+		}
+		if enforced && o.a() >= 0 && nw.a() >= 0 && o.a() > 0 && (nw.a()-o.a())/o.a() > threshold {
 			status = fmt.Sprintf("FAIL allocs/op regressed >%.0f%%", threshold*100)
 			failed = true
 		}
 		nsNote := ""
 		if o.ns() > 0 && (nw.ns()-o.ns())/o.ns() > threshold {
-			if gateNS {
+			if enforced && gateNS {
 				status = fmt.Sprintf("FAIL ns/op regressed >%.0f%%", threshold*100)
 				failed = true
 			} else {
 				nsNote = " [ns/op above threshold; informational]"
 			}
 		}
-		fmt.Printf("%-40s ns/op %s   allocs/op %s   %s%s\n",
+		fmt.Fprintf(w, "%-40s ns/op %s   allocs/op %s   %s%s\n",
 			n, delta(o.ns(), nw.ns()), delta(o.a(), nw.a()), status, nsNote)
 	}
-	if failed {
-		fmt.Println("benchgate: FAIL")
-		return 1
-	}
-	fmt.Println("benchgate: ok")
-	return 0
+	return failed
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -66,5 +68,49 @@ func TestParseBenchLineAveragesViaAdd(t *testing.T) {
 	a := out["BenchmarkA"]
 	if a.ns() != 200 || a.b() != 20 || a.a() != 2 {
 		t.Fatalf("averaged = ns %v B %v allocs %v", a.ns(), a.b(), a.a())
+	}
+}
+
+func TestGateResultsEnforceAllowlist(t *testing.T) {
+	base := map[string]*result{
+		"BenchmarkOld": {runs: 1, nsOp: 1000, allocs: 100, hasMem: true},
+		"BenchmarkNew": {runs: 1, nsOp: 1000, allocs: 100, hasMem: true},
+	}
+	// Both regress 2x on allocs/op — far past any threshold.
+	fresh := map[string]*result{
+		"BenchmarkOld": {runs: 1, nsOp: 1000, allocs: 200, hasMem: true},
+		"BenchmarkNew": {runs: 1, nsOp: 1000, allocs: 200, hasMem: true},
+	}
+	var buf strings.Builder
+	if !gateResults(&buf, base, fresh, 0.15, nil, false) {
+		t.Fatal("no allowlist: a 2x allocs/op regression must fail the gate")
+	}
+	buf.Reset()
+	re := regexp.MustCompile(`^BenchmarkOld$`)
+	if !gateResults(&buf, base, fresh, 0.15, re, false) {
+		t.Fatal("allowlisted benchmark regressed but gate passed")
+	}
+	if !strings.Contains(buf.String(), "informational (not in -benchmarks allowlist)") {
+		t.Fatalf("non-allowlisted benchmark not marked informational:\n%s", buf.String())
+	}
+	// Only the benchmark outside the allowlist regresses: gate must pass.
+	fresh["BenchmarkOld"] = &result{runs: 1, nsOp: 1000, allocs: 100, hasMem: true}
+	buf.Reset()
+	if gateResults(&buf, base, fresh, 0.15, re, false) {
+		t.Fatalf("regression outside the allowlist failed the gate:\n%s", buf.String())
+	}
+}
+
+func TestGateResultsMissingBaselineSkipped(t *testing.T) {
+	base := map[string]*result{}
+	fresh := map[string]*result{
+		"BenchmarkBrandNew": {runs: 1, nsOp: 1000, allocs: 100, hasMem: true},
+	}
+	var buf strings.Builder
+	if gateResults(&buf, base, fresh, 0.15, nil, false) {
+		t.Fatal("benchmark with no baseline entry must not fail the gate")
+	}
+	if !strings.Contains(buf.String(), "no baseline entry; skipped") {
+		t.Fatalf("missing-baseline line not printed:\n%s", buf.String())
 	}
 }

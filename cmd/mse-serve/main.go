@@ -6,6 +6,8 @@
 //	mse-serve -addr :8080 -wrappers dir/ [-pprof] [-quiet]
 //	          [-max-inflight N] [-queue-timeout D] [-log-format text|json]
 //	          [-journal PATH] [-journal-sample N] [-drift-window N]
+//	          [-cache-bytes N] [-shard k/N]
+//	          [-snapshot PATH] [-snapshot-save PATH]
 //
 // Every *.json file in the wrappers directory is loaded as one engine
 // wrapper named after the file (sans extension).  Endpoints:
@@ -16,6 +18,18 @@
 //	GET  /statusz                           human-readable status page
 //	GET  /driftz                            per-engine drift report
 //	POST /extract?engine=NAME&q=term+term   (body: result page HTML)
+//	POST /extract/batch                     (body: {"items":[...]})
+//
+// -cache-bytes bounds the content-addressed extraction result cache (0
+// disables it): byte-identical repeat pages are answered from the cache
+// without re-running the pipeline, and a wrapper swap invalidates only
+// that engine's entries.  -shard k/N makes this process shard k of an
+// N-way fleet split by consistent hashing over engine names: only owned
+// wrappers are loaded and requests for other engines get 421 naming the
+// owner.  -snapshot loads the wrapper fleet (with generations) from a
+// snapshot file when it exists, falling back to -wrappers otherwise;
+// -snapshot-save writes a fresh snapshot after loading, so the next
+// restart resumes the same generation sequence.
 //
 // With -journal the server appends one wide-event JSON line per sampled
 // /extract request to PATH (1-in-N sampling via -journal-sample); the
@@ -34,6 +48,7 @@ import (
 	"context"
 	"expvar"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -68,6 +83,14 @@ func main() {
 		"journal 1 in N /extract requests (1 = every request)")
 	driftWindow := flag.Int("drift-window", 0,
 		"drift detector smoothing window in pages (0 = default)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20,
+		"byte bound for the content-addressed extraction result cache (0 disables)")
+	shardSpec := flag.String("shard", "",
+		"serve shard k of an N-way fleet as \"k/N\" (empty = own every engine)")
+	snapshotPath := flag.String("snapshot", "",
+		"load the wrapper fleet from this snapshot file when it exists (falls back to -wrappers)")
+	snapshotSave := flag.String("snapshot-save", "",
+		"write a registry snapshot to this file after loading")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -109,28 +132,72 @@ func main() {
 		inflight = 2 * runtime.GOMAXPROCS(0)
 	}
 	reg.SetLimits(inflight, *queueTimeout)
-	entries, err := os.ReadDir(*dir)
-	if err != nil {
-		fatal(logger, "reading wrapper directory", err)
-	}
-	loaded := 0
-	for _, ent := range entries {
-		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(*dir, ent.Name()))
+	reg.SetCache(*cacheBytes)
+	if *shardSpec != "" {
+		k, n, err := parseShard(*shardSpec)
 		if err != nil {
-			fatal(logger, "reading "+ent.Name(), err)
+			fatal(logger, "parsing -shard", err)
 		}
-		name := strings.TrimSuffix(ent.Name(), ".json")
-		if err := reg.Add(name, data); err != nil {
-			fatal(logger, "loading wrapper", err)
+		if err := reg.SetShard(k, n); err != nil {
+			fatal(logger, "configuring shard", err)
 		}
-		loaded++
+	}
+
+	loaded, skipped := 0, 0
+	if *snapshotPath != "" {
+		if f, err := os.Open(*snapshotPath); err == nil {
+			n, lerr := reg.LoadSnapshot(f)
+			f.Close()
+			if lerr != nil {
+				fatal(logger, "loading snapshot", lerr)
+			}
+			loaded = n
+			logger.Info("loaded snapshot", "path", *snapshotPath, "engines", n)
+		} else if !os.IsNotExist(err) {
+			fatal(logger, "opening snapshot", err)
+		}
 	}
 	if loaded == 0 {
-		logger.Error("no wrapper files found", "dir", *dir)
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			fatal(logger, "reading wrapper directory", err)
+		}
+		for _, ent := range entries {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+				continue
+			}
+			name := strings.TrimSuffix(ent.Name(), ".json")
+			if !reg.Owns(name) {
+				skipped++
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(*dir, ent.Name()))
+			if err != nil {
+				fatal(logger, "reading "+ent.Name(), err)
+			}
+			if err := reg.Add(name, data); err != nil {
+				fatal(logger, "loading wrapper", err)
+			}
+			loaded++
+		}
+	}
+	if loaded == 0 {
+		logger.Error("no wrapper files found", "dir", *dir, "skipped_other_shards", skipped)
 		os.Exit(1)
+	}
+	if *snapshotSave != "" {
+		f, err := os.Create(*snapshotSave)
+		if err != nil {
+			fatal(logger, "creating snapshot file", err)
+		}
+		if err := reg.SaveSnapshot(f); err != nil {
+			f.Close()
+			fatal(logger, "writing snapshot", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(logger, "closing snapshot file", err)
+		}
+		logger.Info("saved snapshot", "path", *snapshotSave, "engines", loaded)
 	}
 
 	reg.Metrics().Registry().Publish("mse")
@@ -145,9 +212,12 @@ func main() {
 		mux.Handle("/debug/vars", expvar.Handler())
 	}
 
+	shardIdx, shardTotal, sharded := reg.ShardInfo()
 	logger.Info("listening",
-		"addr", *addr, "engines", loaded,
-		"names", strings.Join(reg.Names(), ","), "pprof", *withPprof)
+		"addr", *addr, "engines", loaded, "skipped_other_shards", skipped,
+		"names", strings.Join(reg.Names(), ","), "pprof", *withPprof,
+		"cache_bytes", *cacheBytes, "sharded", sharded,
+		"shard", shardIdx, "shards", shardTotal)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -159,6 +229,18 @@ func main() {
 	}); err != nil {
 		fatal(logger, "server", err)
 	}
+}
+
+// parseShard parses the -shard "k/N" form (0 <= k < N, N >= 1).
+func parseShard(spec string) (k, n int, err error) {
+	k, n = -1, -1
+	if _, err := fmt.Sscanf(spec, "%d/%d", &k, &n); err != nil {
+		return 0, 0, fmt.Errorf("want \"k/N\", got %q", spec)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("shard %d/%d out of range (want 0 <= k < N)", k, n)
+	}
+	return k, n, nil
 }
 
 func fatal(logger *slog.Logger, msg string, err error) {

@@ -85,6 +85,33 @@ var (
 	moreRe  = regexp.MustCompile(`(?i)^more\b.*\.{3}\s*$|^click here for more`)
 )
 
+// The regexes above backtrack, and annotation runs on every record of
+// every served response, so each is guarded by a byte-scan prefilter that
+// checks a necessary condition of the pattern.  Typical snippet lines fail
+// the prefilter in one pass instead of feeding the backtracker.
+
+// maybeMore: moreRe's two alternatives start with "more"/"click" —
+// anything not starting with m/M/c/C cannot match.
+func maybeMore(text string) bool {
+	switch text[0] {
+	case 'm', 'M', 'c', 'C':
+		return true
+	}
+	return false
+}
+
+// maybeURL: urlRe has no whitespace-capable atom and requires a dot, so a
+// line with interior whitespace or no '.' cannot match.
+func maybeURL(text string) bool {
+	return strings.IndexByte(text, '.') >= 0 &&
+		!strings.ContainsAny(text, " \t\r\n\v\f")
+}
+
+// maybePrice: every priceRe alternative needs a currency marker.
+func maybePrice(text string) bool {
+	return strings.ContainsAny(text, "$€£") || strings.Contains(text, "USD")
+}
+
 // Record annotates one extracted record.
 func Record(rec core.Record) []Unit {
 	var units []Unit
@@ -95,14 +122,14 @@ func Record(rec core.Record) []Unit {
 			continue
 		}
 		switch {
-		case moreRe.MatchString(text):
+		case maybeMore(text) && moreRe.MatchString(text):
 			units = append(units, Unit{Type: More, Text: text, Line: i})
 		case !titleSeen:
 			titleSeen = true
 			units = append(units, titleUnits(text, i)...)
-		case urlRe.MatchString(text):
+		case maybeURL(text) && urlRe.MatchString(text):
 			units = append(units, Unit{Type: DisplayURL, Text: text, Line: i})
-		case priceRe.MatchString(text):
+		case maybePrice(text) && priceRe.MatchString(text):
 			units = append(units, Unit{Type: Price, Text: priceRe.FindString(text), Line: i})
 		default:
 			units = append(units, Unit{Type: Snippet, Text: text, Line: i})
@@ -114,14 +141,18 @@ func Record(rec core.Record) []Unit {
 // titleUnits splits a title line into rank, title and date units.
 func titleUnits(text string, line int) []Unit {
 	var units []Unit
-	if m := rankRe.FindStringSubmatch(text); m != nil {
-		units = append(units, Unit{Type: Rank, Text: m[1], Line: line})
-		text = strings.TrimSpace(text[len(m[0]):])
+	if text[0] >= '0' && text[0] <= '9' {
+		if m := rankRe.FindStringSubmatch(text); m != nil {
+			units = append(units, Unit{Type: Rank, Text: m[1], Line: line})
+			text = strings.TrimSpace(text[len(m[0]):])
+		}
 	}
-	if m := dateRe.FindString(text); m != "" {
-		units = append(units, Unit{Type: Date, Text: m, Line: line})
-		text = strings.TrimSpace(strings.Replace(text, m, "", 1))
-		text = strings.Join(strings.Fields(text), " ")
+	if strings.IndexByte(text, '(') >= 0 {
+		if m := dateRe.FindString(text); m != "" {
+			units = append(units, Unit{Type: Date, Text: m, Line: line})
+			text = strings.TrimSpace(strings.Replace(text, m, "", 1))
+			text = strings.Join(strings.Fields(text), " ")
+		}
 	}
 	if text != "" {
 		units = append(units, Unit{Type: Title, Text: text, Line: line})

@@ -1,0 +1,439 @@
+// Package excache is the content-addressed extraction result cache behind
+// the serving hot path.  The paper's wrappers make per-page extraction
+// deterministic — a byte-identical page under the same wrapper always
+// yields a byte-identical result — so heavy real traffic, where popular
+// queries return the same page to millions of users, is almost free once
+// repeats are recognized.  The cache maps
+//
+//	(engine name, wrapper generation, 128-bit content hash of page+query)
+//
+// to the fully serialized extraction result, so a hit skips parse, prune,
+// render and wrapper application entirely.
+//
+// Design points:
+//
+//   - Sharded: a power-of-two number of independently locked shards keyed
+//     by the low hash bits, so concurrent lookups contend only 1/64th of
+//     the time.
+//   - Bounded by bytes with segmented-LRU eviction per shard: new entries
+//     start in a probation segment and are promoted to a protected segment
+//     on their first repeat hit, so a burst of one-off pages cannot flush
+//     the hot working set.  The byte bound is enforced before insertion —
+//     the cache never holds more than its budget.
+//   - Singleflight: concurrent misses on the same key collapse into one
+//     extraction; the followers wait (honouring their own contexts) and
+//     share the leader's entry.
+//   - Generation-tagged invalidation: the wrapper generation is part of
+//     the key, so a wrapper swap (drift relearn, operator reload) orphans
+//     every stale entry atomically — no stop-the-world flush, no lock
+//     across the swap.  Invalidate reclaims the orphans' bytes eagerly.
+package excache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Key addresses one cached extraction result.
+type Key struct {
+	Engine string
+	Gen    uint64
+	Hash   Hash128
+}
+
+// Entry is one cached extraction result: the serialized response body plus
+// the section/record counts the serving layer reports without reparsing it.
+// Entries are immutable once inserted and may be shared by any number of
+// concurrent readers.
+type Entry struct {
+	Body     []byte
+	Sections int
+	Records  int
+}
+
+// entryOverhead approximates the per-entry bookkeeping bytes (node, map
+// slot, key) charged against the byte budget on top of the body.
+const entryOverhead = 160
+
+func (e *Entry) size(k Key) int64 {
+	return int64(len(e.Body)) + int64(len(k.Engine)) + entryOverhead
+}
+
+// numShards is the power-of-two shard count.
+const numShards = 64
+
+// protectedFrac is the fraction of each shard's byte budget reserved for
+// the protected segment; beyond it, protected LRU entries demote back to
+// probation rather than pinning the whole budget.
+const protectedFrac = 0.8
+
+// node is one resident entry on a shard's intrusive segmented-LRU lists.
+type node struct {
+	key        Key
+	ent        *Entry
+	size       int64
+	protected  bool
+	prev, next *node
+}
+
+// list is an intrusive doubly-linked LRU ring with a sentinel; head.next is
+// the most recently used node, head.prev the least.
+type list struct{ head node }
+
+func (l *list) init() {
+	l.head.prev = &l.head
+	l.head.next = &l.head
+}
+
+func (l *list) pushFront(n *node) {
+	n.prev = &l.head
+	n.next = l.head.next
+	n.prev.next = n
+	n.next.prev = n
+}
+
+func (l *list) remove(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}
+
+func (l *list) back() *node {
+	if l.head.prev == &l.head {
+		return nil
+	}
+	return l.head.prev
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	done chan struct{}
+	ent  *Entry
+	err  error
+}
+
+type shard struct {
+	mu             sync.Mutex
+	items          map[Key]*node
+	flight         map[Key]*call
+	probation      list
+	protected      list
+	budget         int64
+	bytes          int64
+	protectedBytes int64
+}
+
+// Cache is the sharded content-addressed result cache.  The zero value is
+// not usable; a nil *Cache is a valid always-miss cache (every method is
+// nil-safe), which is how serving runs with caching disabled.
+type Cache struct {
+	shards   [numShards]shard
+	maxBytes int64
+	perShard int64
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	collapsed   atomic.Uint64
+	evictions   atomic.Uint64
+	invalidated atomic.Uint64
+	bytes       atomic.Int64
+	entries     atomic.Int64
+}
+
+// New returns a cache bounded to maxBytes across all shards.  maxBytes <= 0
+// returns nil — the always-miss disabled cache.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	c := &Cache{maxBytes: maxBytes, perShard: maxBytes / numShards}
+	if c.perShard < 1 {
+		c.perShard = 1
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.items = map[Key]*node{}
+		sh.flight = map[Key]*call{}
+		sh.budget = c.perShard
+		sh.probation.init()
+		sh.protected.init()
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard {
+	return &c.shards[k.Hash.Lo&(numShards-1)]
+}
+
+// Get returns the cached entry for k, promoting it on a repeat hit.  It
+// counts a hit but never a miss — Do owns miss accounting — so pre-pass
+// lookups (batch dedupe) do not double-count.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	n := sh.items[k]
+	if n == nil {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.touch(n)
+	ent := n.ent
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return ent, true
+}
+
+// touch marks n most-recently-used, promoting a probation entry to the
+// protected segment and demoting protected-LRU entries when the protected
+// budget overflows.  Caller holds sh.mu.
+func (sh *shard) touch(n *node) {
+	if n.protected {
+		sh.protected.remove(n)
+		sh.protected.pushFront(n)
+		return
+	}
+	sh.probation.remove(n)
+	n.protected = true
+	sh.protected.pushFront(n)
+	sh.protectedBytes += n.size
+	limit := int64(protectedFrac * float64(sh.budget))
+	for sh.protectedBytes > limit {
+		lru := sh.protected.back()
+		if lru == nil || lru == n {
+			break
+		}
+		sh.protected.remove(lru)
+		lru.protected = false
+		sh.probation.pushFront(lru)
+		sh.protectedBytes -= lru.size
+	}
+}
+
+// insert adds a freshly computed entry, evicting probation-first until the
+// entry fits.  Entries larger than the whole shard budget are not cached.
+// Caller holds sh.mu.  Returns the bytes delta and evictions performed.
+func (sh *shard) insert(k Key, ent *Entry) (delta int64, evicted []int64) {
+	size := ent.size(k)
+	if size > sh.budget {
+		return 0, nil
+	}
+	if old := sh.items[k]; old != nil {
+		// A concurrent leader already inserted (or a generation re-fill);
+		// keep the resident entry and its LRU position.
+		return 0, nil
+	}
+	for sh.bytes+size > sh.budget {
+		victim := sh.probation.back()
+		if victim == nil {
+			victim = sh.protected.back()
+			if victim == nil {
+				break
+			}
+			sh.protected.remove(victim)
+			sh.protectedBytes -= victim.size
+		} else {
+			sh.probation.remove(victim)
+		}
+		delete(sh.items, victim.key)
+		sh.bytes -= victim.size
+		evicted = append(evicted, victim.size)
+	}
+	n := &node{key: k, ent: ent, size: size}
+	sh.items[k] = n
+	sh.probation.pushFront(n)
+	sh.bytes += size
+	return size, evicted
+}
+
+// Do returns the entry for k, computing it with fill on a miss.  Concurrent
+// calls for the same key collapse: one caller runs fill, the rest wait for
+// its result (or their own ctx, whichever ends first) and report
+// collapsed=true.  A failed fill is not cached and wakes the waiters to
+// retry leadership, so one canceled client cannot poison the key.  A nil
+// cache runs fill directly every time.
+func (c *Cache) Do(ctx context.Context, k Key, fill func() (*Entry, error)) (ent *Entry, hit, collapsed bool, err error) {
+	if c == nil {
+		ent, err = fill()
+		return ent, false, false, err
+	}
+	sh := c.shard(k)
+	for {
+		sh.mu.Lock()
+		if n := sh.items[k]; n != nil {
+			sh.touch(n)
+			ent := n.ent
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return ent, true, false, nil
+		}
+		if cl := sh.flight[k]; cl != nil {
+			sh.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return nil, false, false, ctx.Err()
+			}
+			if cl.err == nil {
+				c.collapsed.Add(1)
+				return cl.ent, true, true, nil
+			}
+			// The leader failed (canceled client, extraction error): loop
+			// and contend for leadership with our own context.
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		sh.flight[k] = cl
+		sh.mu.Unlock()
+		c.misses.Add(1)
+
+		finished := false
+		// A fill that panics (cooperative-cancellation unwind crossing this
+		// frame) must not leave waiters blocked on a dead leader.
+		defer func() {
+			if !finished {
+				sh.mu.Lock()
+				delete(sh.flight, k)
+				sh.mu.Unlock()
+				cl.err = context.Canceled
+				close(cl.done)
+			}
+		}()
+		ent, err := fill()
+
+		sh.mu.Lock()
+		delete(sh.flight, k)
+		if err == nil && ent != nil {
+			delta, evicted := sh.insert(k, ent)
+			sh.mu.Unlock()
+			if delta != 0 {
+				c.bytes.Add(delta)
+				c.entries.Add(1)
+			}
+			for _, sz := range evicted {
+				c.bytes.Add(-sz)
+				c.entries.Add(-1)
+				c.evictions.Add(1)
+			}
+		} else {
+			sh.mu.Unlock()
+		}
+		cl.ent, cl.err = ent, err
+		finished = true
+		close(cl.done)
+		return ent, false, false, err
+	}
+}
+
+// Remove drops the entry for k, reporting whether it was resident.
+func (c *Cache) Remove(k Key) bool {
+	if c == nil {
+		return false
+	}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	n := sh.items[k]
+	if n == nil {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.unlink(n)
+	sh.mu.Unlock()
+	c.bytes.Add(-n.size)
+	c.entries.Add(-1)
+	return true
+}
+
+// unlink removes n from its segment and the item map.  Caller holds sh.mu.
+func (sh *shard) unlink(n *node) {
+	if n.protected {
+		sh.protected.remove(n)
+		sh.protectedBytes -= n.size
+	} else {
+		sh.probation.remove(n)
+	}
+	delete(sh.items, n.key)
+	sh.bytes -= n.size
+}
+
+// Invalidate eagerly reclaims entries of engine with generation < before.
+// Key tagging already orphans them — they can never be looked up again
+// after a swap publishes the new generation — so this only frees their
+// bytes ahead of LRU pressure.  Returns the number of entries dropped.
+func (c *Cache) Invalidate(engine string, before uint64) int {
+	if c == nil {
+		return 0
+	}
+	dropped := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, n := range sh.items {
+			if k.Engine == engine && k.Gen < before {
+				sh.unlink(n)
+				c.bytes.Add(-n.size)
+				c.entries.Add(-1)
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.invalidated.Add(uint64(dropped))
+	return dropped
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits        uint64 `json:"hits_total"`
+	Misses      uint64 `json:"misses_total"`
+	Collapsed   uint64 `json:"collapsed_total"`
+	Evictions   uint64 `json:"evictions_total"`
+	Invalidated uint64 `json:"invalidated_total"`
+	Entries     int64  `json:"entries"`
+	Bytes       int64  `json:"bytes_total"`
+	MaxBytes    int64  `json:"max_bytes"`
+}
+
+// HitRate returns hits/(hits+misses) in [0,1]; 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the counters; a nil cache reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Collapsed:   c.collapsed.Load(),
+		Evictions:   c.evictions.Load(),
+		Invalidated: c.invalidated.Load(),
+		Entries:     c.entries.Load(),
+		Bytes:       c.bytes.Load(),
+		MaxBytes:    c.maxBytes,
+	}
+}
+
+// Bytes returns the current resident byte total (0 for a nil cache).
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytes.Load()
+}
+
+// MaxBytes returns the configured byte bound (0 for a nil cache).
+func (c *Cache) MaxBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.maxBytes
+}

@@ -1,0 +1,390 @@
+package excache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestXXH64Vectors pins the hash to the published xxHash64 reference
+// vectors (seed 0), covering the short-input tails and the 32-byte block
+// loop.  A drifting hash would silently re-address every cache entry.
+func TestXXH64Vectors(t *testing.T) {
+	vectors := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xef46db3751d8e999},
+		{"a", 0xd24ec4f1a98c6e5b},
+		{"as", 0x1c330fb2d66be179},
+		{"asd", 0x631c37ce72a97393},
+		{"asdf", 0x415872f599cea71e},
+		{"Call me Ishmael. Some years ago--never mind how long precisely-", 0x02a2e85470d6fd96},
+	}
+	for _, v := range vectors {
+		if got := xxh64(v.in, 0); got != v.want {
+			t.Errorf("xxh64(%q) = %#x, want %#x", v.in, got, v.want)
+		}
+	}
+}
+
+func TestHashPageQuerySensitivity(t *testing.T) {
+	base := HashPage("<html>page</html>", nil)
+	cases := []Hash128{
+		HashPage("<html>page</html>", []string{"a"}),
+		HashPage("<html>page</html>", []string{"a", "bc"}),
+		HashPage("<html>page</html>", []string{"ab", "c"}),
+		HashPage("<html>page</html>", []string{"bc", "a"}),
+		HashPage("<html>page!</html>", nil),
+	}
+	seen := map[Hash128]bool{base: true}
+	for i, h := range cases {
+		if seen[h] {
+			t.Fatalf("case %d: hash collides with an earlier variant: %+v", i, h)
+		}
+		seen[h] = true
+	}
+	if again := HashPage("<html>page</html>", []string{"a", "bc"}); again != cases[1] {
+		t.Fatalf("hash not deterministic: %+v vs %+v", again, cases[1])
+	}
+}
+
+func key(engine string, gen uint64, page string) Key {
+	return Key{Engine: engine, Gen: gen, Hash: HashPage(page, nil)}
+}
+
+func entry(body string) *Entry {
+	return &Entry{Body: []byte(body), Sections: 1, Records: 2}
+}
+
+func fillWith(e *Entry) func() (*Entry, error) {
+	return func() (*Entry, error) { return e, nil }
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New(1 << 20)
+	k := key("demo", 1, "<p>x</p>")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := entry("body")
+	got, hit, collapsed, err := c.Do(context.Background(), k, fillWith(want))
+	if err != nil || hit || collapsed || got != want {
+		t.Fatalf("first Do = (%v, hit=%v, collapsed=%v, %v)", got, hit, collapsed, err)
+	}
+	got, hit, _, err = c.Do(context.Background(), k, func() (*Entry, error) {
+		t.Fatal("fill ran on resident key")
+		return nil, nil
+	})
+	if err != nil || !hit || got != want {
+		t.Fatalf("second Do = (%v, hit=%v, %v)", got, hit, err)
+	}
+	if got, ok := c.Get(k); !ok || got != want {
+		t.Fatalf("Get = (%v, %v)", got, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Bytes <= 0 || s.Bytes > s.MaxBytes {
+		t.Fatalf("bytes = %d outside (0, %d]", s.Bytes, s.MaxBytes)
+	}
+}
+
+// TestCacheByteBound floods one cache with distinct entries far beyond its
+// budget: the resident byte count must never exceed the bound, evictions
+// must be counted, and the most recently inserted entries must survive.
+func TestCacheByteBound(t *testing.T) {
+	const maxBytes = 64 << 10
+	c := New(maxBytes)
+	body := make([]byte, 512)
+	for i := 0; i < 4096; i++ {
+		k := key("demo", 1, fmt.Sprintf("page-%d", i))
+		e := &Entry{Body: body}
+		if _, _, _, err := c.Do(context.Background(), k, fillWith(e)); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Bytes(); got > maxBytes {
+			t.Fatalf("insert %d: resident bytes %d exceed bound %d", i, got, maxBytes)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("no evictions after flooding: %+v", s)
+	}
+	if s.Entries <= 0 {
+		t.Fatalf("cache emptied itself: %+v", s)
+	}
+}
+
+// TestCacheSegmentedLRU checks scan resistance: an entry promoted to the
+// protected segment by a repeat hit must survive a flood of one-off
+// insertions that far exceeds the byte budget.
+func TestCacheSegmentedLRU(t *testing.T) {
+	c := New(64 << 10)
+	hot := key("demo", 1, "hot-page")
+	he := entry("hot")
+	c.Do(context.Background(), hot, fillWith(he))
+	if _, ok := c.Get(hot); !ok { // repeat hit promotes to protected
+		t.Fatal("hot entry missing after insert")
+	}
+	body := make([]byte, 512)
+	for i := 0; i < 4096; i++ {
+		// Scan traffic: same shard as hot not guaranteed, so flood all.
+		k := key("demo", 1, fmt.Sprintf("scan-%d", i))
+		c.Do(context.Background(), k, fillWith(&Entry{Body: body}))
+	}
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("protected hot entry evicted by one-off scan traffic")
+	}
+}
+
+// TestCacheGenerationInvalidation proves a wrapper swap orphans stale
+// entries: the new generation misses, and Invalidate reclaims the old
+// generation's bytes.
+func TestCacheGenerationInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	oldKey := key("demo", 1, "<p>x</p>")
+	newKey := key("demo", 2, "<p>x</p>")
+	c.Do(context.Background(), oldKey, fillWith(entry("old")))
+	if _, ok := c.Get(newKey); ok {
+		t.Fatal("new generation hit the old generation's entry")
+	}
+	fresh := entry("new")
+	got, hit, _, err := c.Do(context.Background(), newKey, fillWith(fresh))
+	if err != nil || hit || string(got.Body) != "new" {
+		t.Fatalf("new-generation Do = (%s, hit=%v, %v)", got.Body, hit, err)
+	}
+	if n := c.Invalidate("demo", 2); n != 1 {
+		t.Fatalf("Invalidate dropped %d entries, want 1", n)
+	}
+	if _, ok := c.Get(oldKey); ok {
+		t.Fatal("old generation still resident after Invalidate")
+	}
+	if got, ok := c.Get(newKey); !ok || string(got.Body) != "new" {
+		t.Fatal("current generation dropped by Invalidate")
+	}
+	if s := c.Stats(); s.Invalidated != 1 {
+		t.Fatalf("invalidated counter = %d, want 1", s.Invalidated)
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	c := New(1 << 20)
+	k := key("demo", 1, "<p>x</p>")
+	c.Do(context.Background(), k, fillWith(entry("body")))
+	before := c.Bytes()
+	if !c.Remove(k) {
+		t.Fatal("Remove missed a resident entry")
+	}
+	if c.Remove(k) {
+		t.Fatal("Remove hit a removed entry")
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry resident after Remove")
+	}
+	if c.Bytes() >= before {
+		t.Fatalf("bytes not reclaimed: %d -> %d", before, c.Bytes())
+	}
+}
+
+// TestCacheSingleflight launches many concurrent misses on one key: exactly
+// one fill must run, everyone must get its entry, and the followers must be
+// counted as collapsed.
+func TestCacheSingleflight(t *testing.T) {
+	c := New(1 << 20)
+	k := key("demo", 1, "<p>x</p>")
+	var fills atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, _, err := c.Do(context.Background(), k, func() (*Entry, error) {
+				fills.Add(1)
+				<-release
+				return entry("shared"), nil
+			})
+			if err == nil && string(got.Body) != "shared" {
+				err = errors.New("wrong body")
+			}
+			errs[i] = err
+		}(i)
+	}
+	// Let the leader win and the followers queue before releasing.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Collapsed == 0 || s.Collapsed != uint64(waiters)-s.Misses-s.Hits {
+		t.Fatalf("collapse accounting off: %+v (waiters=%d)", s, waiters)
+	}
+}
+
+// TestCacheSingleflightLeaderFailure: a failing leader must not cache its
+// error or poison the key — a follower retries and succeeds.
+func TestCacheSingleflightLeaderFailure(t *testing.T) {
+	c := New(1 << 20)
+	k := key("demo", 1, "<p>x</p>")
+	boom := errors.New("boom")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), k, func() (*Entry, error) {
+			close(leaderIn)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-leaderIn
+	done := make(chan error, 1)
+	go func() {
+		got, _, _, err := c.Do(context.Background(), k, func() (*Entry, error) {
+			return entry("recovered"), nil
+		})
+		if err == nil && string(got.Body) != "recovered" {
+			err = errors.New("wrong body")
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("follower after failed leader: %v", err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("successful retry not cached")
+	}
+}
+
+// TestCacheWaiterContext: a follower whose context dies while waiting on a
+// slow leader returns the context error instead of blocking.
+func TestCacheWaiterContext(t *testing.T) {
+	c := New(1 << 20)
+	k := key("demo", 1, "<p>x</p>")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.Do(context.Background(), k, func() (*Entry, error) {
+			close(leaderIn)
+			<-release
+			return entry("late"), nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, _, err := c.Do(ctx, k, fillWith(entry("x")))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter error = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCacheFillPanicUnblocksWaiters: a fill that panics (the cooperative
+// cancellation unwind) must wake waiting followers rather than strand them.
+func TestCacheFillPanicUnblocksWaiters(t *testing.T) {
+	c := New(1 << 20)
+	k := key("demo", 1, "<p>x</p>")
+	leaderIn := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.Do(context.Background(), k, func() (*Entry, error) {
+			close(leaderIn)
+			panic("unwind")
+		})
+	}()
+	<-leaderIn
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(context.Background(), k, fillWith(entry("after")))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("follower after panicked leader: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower stranded behind a panicked leader")
+	}
+}
+
+// TestNilCache pins the disabled-cache contract: every method is nil-safe
+// and Do degenerates to calling fill.
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if c2 := New(0); c2 != nil {
+		t.Fatal("New(0) should return the nil disabled cache")
+	}
+	if _, ok := c.Get(key("e", 1, "p")); ok {
+		t.Fatal("nil cache hit")
+	}
+	got, hit, collapsed, err := c.Do(context.Background(), key("e", 1, "p"), fillWith(entry("x")))
+	if err != nil || hit || collapsed || string(got.Body) != "x" {
+		t.Fatal("nil cache Do did not run fill")
+	}
+	if c.Remove(key("e", 1, "p")) || c.Invalidate("e", 9) != 0 {
+		t.Fatal("nil cache mutators did something")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	if c.Bytes() != 0 || c.MaxBytes() != 0 {
+		t.Fatal("nil cache size accessors nonzero")
+	}
+}
+
+// TestCacheConcurrentMixed hammers a small cache with concurrent Do/Get/
+// Invalidate across engines and generations; run under -race this is the
+// memory-safety check, and the byte bound must hold at every sample.
+func TestCacheConcurrentMixed(t *testing.T) {
+	const maxBytes = 32 << 10
+	c := New(maxBytes)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key(fmt.Sprintf("eng-%d", i%3), uint64(1+i%2), fmt.Sprintf("page-%d", i%50))
+				switch i % 7 {
+				case 5:
+					c.Get(k)
+				case 6:
+					c.Invalidate("eng-0", 2)
+				default:
+					c.Do(context.Background(), k, fillWith(&Entry{Body: make([]byte, 256)}))
+				}
+				if b := c.Bytes(); b > maxBytes {
+					t.Errorf("bytes %d exceed bound %d", b, maxBytes)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+package excache
+
+// A dependency-free xxHash64 implementation specialized for strings.  The
+// cache keys pages by a 128-bit digest built from two independently seeded
+// xxHash64 passes, which makes accidental collisions (two different pages
+// mapping to one cache entry) astronomically unlikely while hashing at
+// word-at-a-time speed — the hash is on the hit path, so a byte-at-a-time
+// stdlib hash (fnv) would dominate the cost of a cache hit for large pages.
+
+const (
+	prime1 uint64 = 11400714785074694791
+	prime2 uint64 = 14029467366897019727
+	prime3 uint64 = 1609587929392839161
+	prime4 uint64 = 9650029242287828579
+	prime5 uint64 = 2870177450012600261
+)
+
+// Hash128 is a 128-bit content digest.
+type Hash128 struct {
+	Hi uint64
+	Lo uint64
+}
+
+// HashPage digests one extraction input: the raw page bytes plus the query
+// terms, in order.  The query participates because wrapper application is
+// query-aware — the same page extracted under different query terms may
+// yield different sections, so the terms are part of the content address.
+func HashPage(html string, query []string) Hash128 {
+	h := Hash128{
+		Lo: xxh64(html, 0),
+		Hi: xxh64(html, prime5),
+	}
+	for _, q := range query {
+		// Fold each term in order with an avalanche step between terms, so
+		// ["a","bc"] and ["ab","c"] (and reordered term lists) all address
+		// distinct entries.
+		h.Lo = avalanche(h.Lo ^ xxh64(q, prime1) ^ uint64(len(q))*prime2)
+		h.Hi = avalanche(h.Hi ^ xxh64(q, prime3) ^ uint64(len(q))*prime4)
+	}
+	return h
+}
+
+// HashString digests a bare string (used by the consistent-hash ring and
+// for shard selection on engine names).
+func HashString(s string) uint64 { return xxh64(s, 0) }
+
+func u64(s string, i int) uint64 {
+	return uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+		uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+}
+
+func u32(s string, i int) uint64 {
+	return uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24
+}
+
+func rol(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = rol(acc, 31)
+	acc *= prime1
+	return acc
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	acc = acc*prime1 + prime4
+	return acc
+}
+
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// xxh64 is the reference xxHash64 algorithm over the bytes of s.
+func xxh64(s string, seed uint64) uint64 {
+	i, n := 0, len(s)
+	var h uint64
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for ; i+32 <= n; i += 32 {
+			v1 = round(v1, u64(s, i))
+			v2 = round(v2, u64(s, i+8))
+			v3 = round(v3, u64(s, i+16))
+			v4 = round(v4, u64(s, i+24))
+		}
+		h = rol(v1, 1) + rol(v2, 7) + rol(v3, 12) + rol(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+	h += uint64(n)
+	for ; i+8 <= n; i += 8 {
+		h ^= round(0, u64(s, i))
+		h = rol(h, 27)*prime1 + prime4
+	}
+	if i+4 <= n {
+		h ^= u32(s, i) * prime1
+		h = rol(h, 23)*prime2 + prime3
+		i += 4
+	}
+	for ; i < n; i++ {
+		h ^= uint64(s[i]) * prime5
+		h = rol(h, 11) * prime1
+	}
+	return avalanche(h)
+}

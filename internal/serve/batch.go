@@ -1,0 +1,342 @@
+package serve
+
+// POST /extract/batch: the amortized serving surface for callers that hold
+// many result pages at once (a crawler flush, a metasearch fan-in, a
+// backfill).  One request carries N pages; the handler deduplicates them by
+// content address before touching the cache, serves residents immediately,
+// and fans the unique misses through the worker pool — each miss taking one
+// admission slot, so a batch of N counts N against -max-inflight rather
+// than sneaking past the limiter.  Results and errors are per item: one
+// unknown engine or oversized page fails that item, not the batch.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mse/internal/excache"
+	"mse/internal/obs"
+	"mse/internal/par"
+)
+
+// MaxBatchItems bounds the number of pages in one batch request.
+const MaxBatchItems = 256
+
+// MaxBatchBytes bounds the whole batch request body.
+const MaxBatchBytes = 64 << 20
+
+// batchItem is one page in a batch request.  Engine defaults to the
+// ?engine= query parameter; Query uses the same +/space-separated form as
+// the single endpoint's ?q=.
+type batchItem struct {
+	Engine string `json:"engine,omitempty"`
+	Query  string `json:"q,omitempty"`
+	HTML   string `json:"html"`
+}
+
+// batchItemResult is the wire form of one item's outcome.  Status is the
+// HTTP status the same page would have received on /extract; Result is the
+// byte-identical /extract response body on 200.
+type batchItemResult struct {
+	Engine     string          `json:"engine,omitempty"`
+	Status     int             `json:"status"`
+	Cached     bool            `json:"cached,omitempty"`
+	OwnerShard *int            `json:"owner_shard,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// batchResponse is the wire form of POST /extract/batch.
+type batchResponse struct {
+	Results []batchItemResult `json:"results"`
+}
+
+// batchJob is one unique content address within a batch: the first item
+// with a given (engine, generation, hash) extracts, every duplicate index
+// shares its result.
+type batchJob struct {
+	key         excache.Key
+	engine      string
+	ent         *engineEntry
+	html        string
+	query       []string
+	idxs        []int
+	root        *obs.Span
+	out         extractOutcome
+	status      int
+	errMsg      string
+	queueWaitMs float64
+}
+
+// decodeBatch accepts either {"items":[...]} or a bare JSON array.
+func decodeBatch(body []byte) ([]batchItem, error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var items []batchItem
+		err := json.Unmarshal(trimmed, &items)
+		return items, err
+	}
+	var wrapped struct {
+		Items []batchItem `json:"items"`
+	}
+	err := json.Unmarshal(body, &wrapped)
+	return wrapped.Items, err
+}
+
+func (r *Registry) handleExtractBatch(w http.ResponseWriter, req *http.Request) {
+	defaultEngine := req.URL.Query().Get("engine")
+	if req.Method != http.MethodPost {
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusMethodNotAllowed, defaultEngine, "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, MaxBatchBytes+1))
+	if err != nil {
+		if req.Context().Err() != nil || errors.Is(err, io.ErrUnexpectedEOF) {
+			r.metrics.canceled.Inc()
+			writeError(w, statusClientClosedRequest, defaultEngine, "client disconnected during body read")
+			return
+		}
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusBadRequest, defaultEngine, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > MaxBatchBytes {
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusRequestEntityTooLarge, defaultEngine,
+			fmt.Sprintf("batch exceeds %d bytes", MaxBatchBytes))
+		return
+	}
+	items, err := decodeBatch(body)
+	if err != nil {
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusBadRequest, defaultEngine, "decoding batch: "+err.Error())
+		return
+	}
+	if len(items) == 0 {
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusBadRequest, defaultEngine, "empty batch")
+		return
+	}
+	if len(items) > MaxBatchItems {
+		r.metrics.errors.Inc()
+		writeError(w, http.StatusBadRequest, defaultEngine,
+			fmt.Sprintf("batch has %d items, limit %d", len(items), MaxBatchItems))
+		return
+	}
+	r.metrics.batches.Inc()
+	r.metrics.batchPages.Add(int64(len(items)))
+	rid := RequestID(req.Context())
+	start := time.Now()
+
+	results := make([]batchItemResult, len(items))
+	jevs := make([]*JournalEvent, len(items))
+	itemJob := make([]*batchJob, len(items))
+	byKey := map[excache.Key]*batchJob{}
+	var jobs []*batchJob
+
+	// Validation + dedupe pass: every item either fails early (unknown or
+	// misrouted engine, oversized page) or joins the job for its content
+	// address.  Duplicates within the batch collapse before any cache or
+	// pipeline work happens.
+	for i, it := range items {
+		name := it.Engine
+		if name == "" {
+			name = defaultEngine
+		}
+		results[i].Engine = name
+		if r.journal.Sample() {
+			jevs[i] = &JournalEvent{RequestID: rid, Engine: name, Batch: true, BatchIndex: i}
+		}
+		if name == "" {
+			r.metrics.errors.Inc()
+			results[i].Status = http.StatusBadRequest
+			results[i].Error = "missing engine (set item engine or ?engine=)"
+			continue
+		}
+		if !r.Owns(name) {
+			r.metrics.misrouted.Inc()
+			owner := r.ring.Owner(name)
+			_, total, _ := r.ShardInfo()
+			results[i].Status = http.StatusMisdirectedRequest
+			results[i].OwnerShard = &owner
+			results[i].Error = fmt.Sprintf("engine %q is owned by shard %d/%d", name, owner, total)
+			continue
+		}
+		ent, ok := r.get(name)
+		if !ok {
+			r.metrics.errors.Inc()
+			results[i].Status = http.StatusNotFound
+			results[i].Error = fmt.Sprintf("unknown engine %q", name)
+			continue
+		}
+		if len(it.HTML) > MaxPageBytes {
+			r.metrics.engine(name).errors.Inc()
+			r.metrics.errors.Inc()
+			results[i].Status = http.StatusRequestEntityTooLarge
+			results[i].Error = fmt.Sprintf("page exceeds %d bytes", MaxPageBytes)
+			continue
+		}
+		r.metrics.engine(name).requests.Inc()
+		var query []string
+		if it.Query != "" {
+			query = strings.FieldsFunc(it.Query, func(r rune) bool { return r == '+' || r == ' ' })
+		}
+		key := excache.Key{Engine: name, Gen: ent.gen, Hash: excache.HashPage(it.HTML, query)}
+		if j := byKey[key]; j != nil {
+			j.idxs = append(j.idxs, i)
+			itemJob[i] = j
+			continue
+		}
+		j := &batchJob{key: key, engine: name, ent: ent, html: it.HTML, query: query, idxs: []int{i}}
+		byKey[key] = j
+		itemJob[i] = j
+		jobs = append(jobs, j)
+	}
+
+	// A job gets a span tree only when some item of it will be journaled.
+	for _, j := range jobs {
+		for _, i := range j.idxs {
+			if jevs[i] != nil {
+				j.root = obs.NewSpan(obs.RootExtract)
+				break
+			}
+		}
+	}
+
+	// Fan the unique jobs through the worker pool.  Each job acquires its
+	// own admission slot — the batch holds at most workers slots at once
+	// and every page is accounted, exactly as if it had arrived alone.  A
+	// worker panic propagates through par's re-raise to the recoverer, and
+	// the deferred release runs during the unwind, so no slot leaks.
+	ctx := req.Context()
+	par.ForEachIndex(len(jobs), par.Workers(0), func(n int) {
+		j := jobs[n]
+		em := r.metrics.engine(j.engine)
+		wait, err := r.limiter.acquire(ctx)
+		r.metrics.queueWait.Observe(wait)
+		j.queueWaitMs = float64(wait) / float64(time.Millisecond)
+		if err != nil {
+			if errors.Is(err, errShed) {
+				r.metrics.shed.Inc()
+				j.status = http.StatusTooManyRequests
+				j.errMsg = "server at capacity, retry later"
+			} else {
+				r.metrics.canceled.Inc()
+				j.status = statusClientClosedRequest
+				j.errMsg = "request canceled while queued"
+			}
+			return
+		}
+		defer r.limiter.release()
+		r.metrics.extractInFlight.Add(1)
+		defer r.metrics.extractInFlight.Add(-1)
+		out, err := r.extractEntry(ctx, j.engine, j.ent, em, j.html, j.query, j.root)
+		j.out = out
+		if err != nil {
+			j.status, j.errMsg = r.extractErrorStatus(ctx, err)
+			return
+		}
+		j.status = http.StatusOK
+	})
+
+	// Assembly: fan each job's outcome back to its item indices.  Every
+	// index after the first (and every index of a job that hit the cache)
+	// was served without pipeline work, which the served-totals counters
+	// and the per-item cached flag both reflect.
+	for i := range items {
+		j := itemJob[i]
+		if j == nil {
+			continue // early validation error, result already written
+		}
+		if j.status != http.StatusOK {
+			results[i].Status = j.status
+			results[i].Error = j.errMsg
+			continue
+		}
+		cached := j.out.cached || i != j.idxs[0]
+		if cached {
+			em := r.metrics.engine(j.engine)
+			em.sections.Add(int64(j.out.entry.Sections))
+			em.records.Add(int64(j.out.entry.Records))
+		}
+		results[i].Status = http.StatusOK
+		results[i].Cached = cached
+		results[i].Result = json.RawMessage(j.out.entry.Body)
+	}
+
+	// Journal pass: one sub-item event per sampled index, all carrying the
+	// batch request's correlation ID.
+	totalMs := float64(time.Since(start)) / float64(time.Millisecond)
+	for i, jev := range jevs {
+		if jev == nil {
+			continue
+		}
+		jev.Time = nowRFC3339()
+		jev.Status = results[i].Status
+		jev.Error = results[i].Error
+		jev.PageBytes = len(items[i].HTML)
+		jev.PageHash = pageHash(items[i].HTML)
+		jev.TotalMs = totalMs
+		if j := itemJob[i]; j != nil {
+			jev.Query = j.query
+			jev.QueueWaitMs = j.queueWaitMs
+			if j.status == http.StatusOK {
+				jev.Sections = j.out.entry.Sections
+				jev.Records = j.out.entry.Records
+				jev.Cached = results[i].Cached
+			}
+			if j.out.assessed {
+				journalQuality(jev, j.out.assessment)
+			}
+			jev.StagesMs = stageTimings(j.root)
+		}
+		r.journal.Write(*jev)
+	}
+
+	writeBatchResponse(w, results)
+}
+
+// writeBatchResponse assembles the batch response by hand.  Each OK item's
+// Result is an already-serialized /extract body; running the whole
+// response through the indenting encoder would re-tokenize every body byte
+// (the dominant cost of an all-hit batch), so the per-item metadata is
+// marshaled normally and the result bodies are spliced in verbatim.
+func writeBatchResponse(w http.ResponseWriter, results []batchItemResult) {
+	var buf bytes.Buffer
+	grow := 32
+	for i := range results {
+		grow += len(results[i].Result) + 128
+	}
+	buf.Grow(grow)
+	buf.WriteString(`{"results":[`)
+	for i := range results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		body := results[i].Result
+		results[i].Result = nil
+		meta, _ := json.Marshal(&results[i]) // cannot fail: fixed field types
+		results[i].Result = body
+		if len(body) == 0 {
+			buf.Write(meta)
+			continue
+		}
+		buf.Write(meta[:len(meta)-1]) // reopen the object brace
+		if len(meta) > 2 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(`"result":`)
+		buf.Write(bytes.TrimRight(body, "\n"))
+		buf.WriteByte('}')
+	}
+	buf.WriteString("]}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}

@@ -107,6 +107,13 @@ type JournalEvent struct {
 	Query     []string `json:"query,omitempty"`
 	Sections  int      `json:"sections"`
 	Records   int      `json:"records"`
+	// Cached reports that the response was served from the content-
+	// addressed extraction cache (hit or collapsed miss).  Batch marks
+	// sub-item events of a /extract/batch request, BatchIndex the item's
+	// position in it (meaningful only when Batch is set).
+	Cached     bool `json:"cached"`
+	Batch      bool `json:"batch,omitempty"`
+	BatchIndex int  `json:"batch_index,omitempty"`
 	// Quality fields: the engine's drift verdict after this page, whether
 	// this page itself was anomalous, its z-score and the smoothed rate.
 	Verdict     string  `json:"verdict,omitempty"`

@@ -10,10 +10,12 @@ import (
 
 	"mse/internal/dom"
 	"mse/internal/editdist"
+	"mse/internal/excache"
 	"mse/internal/layout"
 	"mse/internal/obs"
 	"mse/internal/prune"
 	"mse/internal/quality"
+	"mse/internal/shard"
 	"mse/internal/wrapper"
 )
 
@@ -34,6 +36,12 @@ type Metrics struct {
 	panics   *obs.Counter
 	shed     *obs.Counter
 	canceled *obs.Counter
+	// Sharded serving: requests answered 421 because another shard owns
+	// the engine.
+	misrouted *obs.Counter
+	// Batch serving: batch requests and the pages they carried.
+	batches    *obs.Counter
+	batchPages *obs.Counter
 	// extractInFlight counts requests holding an extraction slot (distinct
 	// from inFlight, which counts every HTTP request including /metrics
 	// scrapes); queueWait is how long admitted /extract requests waited
@@ -78,6 +86,9 @@ func NewMetrics() *Metrics {
 		panics:          reg.Counter("http.panics_total"),
 		shed:            reg.Counter("http.shed_total"),
 		canceled:        reg.Counter("http.canceled_total"),
+		misrouted:       reg.Counter("http.misrouted_total"),
+		batches:         reg.Counter("batch.requests_total"),
+		batchPages:      reg.Counter("batch.pages_total"),
 		extractInFlight: reg.Gauge("extract.in_flight"),
 		queueWait:       reg.Histogram("extract.queue_wait", nil),
 		engines:         map[string]*engineMetrics{},
@@ -123,6 +134,19 @@ type metricsResponse struct {
 	Metrics       obs.Snapshot   `json:"metrics"`
 	TreeCache     *treeCacheJSON `json:"tree_cache,omitempty"`
 	Pools         *poolsJSON     `json:"pools,omitempty"`
+	Excache       *excacheJSON   `json:"excache,omitempty"`
+}
+
+// excacheJSON reports the content-addressed extraction result cache.
+type excacheJSON struct {
+	Enabled bool    `json:"enabled"`
+	HitRate float64 `json:"hit_rate"`
+	excache.Stats
+}
+
+func excacheSnapshot(c *excache.Cache) *excacheJSON {
+	s := c.Stats()
+	return &excacheJSON{Enabled: c != nil, HitRate: s.HitRate(), Stats: s}
 }
 
 // poolsJSON reports the process-wide per-request memory pools of the
@@ -170,13 +194,15 @@ func treeCacheSnapshot() *treeCacheJSON {
 	}
 }
 
-// snapshot returns the /metrics payload.
-func (m *Metrics) snapshot() metricsResponse {
+// snapshot returns the /metrics payload.  c is the registry's extraction
+// cache (nil when disabled).
+func (m *Metrics) snapshot(c *excache.Cache) metricsResponse {
 	return metricsResponse{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Metrics:       m.reg.Snapshot(),
 		TreeCache:     treeCacheSnapshot(),
 		Pools:         poolsSnapshot(),
+		Excache:       excacheSnapshot(c),
 	}
 }
 
@@ -199,26 +225,51 @@ func perSecond(n int64, uptime time.Duration) float64 {
 	return float64(n) / secs
 }
 
+// StatusInfo is the registry-side input to /statusz: the loaded engines
+// with their generations, the drift tracker, the extraction cache counters
+// and the shard assignment.
+type StatusInfo struct {
+	Engines     []string
+	Status      map[string]EngineStatus
+	Parallelism int
+	Quality     *quality.Tracker
+	Cache       excache.Stats
+	CacheOn     bool
+	ShardIndex  int
+	ShardCount  int
+	Sharded     bool
+}
+
 // writeStatusz renders the human-readable status page: uptime, in-flight
-// count, pipeline parallelism, the tree-distance cache counters, pool
-// reuse rates, and a deterministically sorted per-engine table of request
-// counts, uptime-relative request rates, latency quantiles and drift
-// verdicts.  parallelism is the configured Options.Parallelism (0 meaning
-// GOMAXPROCS); q supplies the per-engine verdicts (nil for none).
-func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism int, q *quality.Tracker) {
+// count, pipeline parallelism, shard assignment, the extraction and
+// tree-distance cache counters, pool reuse rates, and a deterministically
+// sorted per-engine table of request counts, uptime-relative request
+// rates, latency quantiles, wrapper generations with last-swap ages and
+// drift verdicts.
+func (m *Metrics) writeStatusz(w io.Writer, info StatusInfo) {
 	uptime := m.Uptime()
 	fmt.Fprintf(w, "mse-serve status\n")
 	fmt.Fprintf(w, "uptime:    %s\n", uptime.Round(time.Second))
 	fmt.Fprintf(w, "in-flight: %d\n", m.InFlight())
 	fmt.Fprintf(w, "requests:  %d (%.2f/s)\n",
 		m.requests.Value(), perSecond(m.requests.Value(), uptime))
-	fmt.Fprintf(w, "faults: panics=%d shed=%d canceled=%d extract-in-flight=%d\n",
-		m.panics.Value(), m.shed.Value(), m.canceled.Value(), m.extractInFlight.Value())
-	if parallelism <= 0 {
+	fmt.Fprintf(w, "faults: panics=%d shed=%d canceled=%d misrouted=%d extract-in-flight=%d\n",
+		m.panics.Value(), m.shed.Value(), m.canceled.Value(), m.misrouted.Value(),
+		m.extractInFlight.Value())
+	if info.Sharded {
+		fmt.Fprintf(w, "shard: %d/%d (consistent hashing, %d vnodes/shard)\n",
+			info.ShardIndex, info.ShardCount, shard.VirtualNodes)
+	}
+	if info.Parallelism <= 0 {
 		fmt.Fprintf(w, "parallelism: GOMAXPROCS (%d)\n", runtime.GOMAXPROCS(0))
 	} else {
-		fmt.Fprintf(w, "parallelism: %d\n", parallelism)
+		fmt.Fprintf(w, "parallelism: %d\n", info.Parallelism)
 	}
+	cs := info.Cache
+	fmt.Fprintf(w, "excache: enabled=%v entries=%d bytes=%d/%d hits=%d misses=%d collapsed=%d evictions=%d invalidated=%d hit-rate=%.1f%%\n",
+		info.CacheOn, cs.Entries, cs.Bytes, cs.MaxBytes, cs.Hits, cs.Misses,
+		cs.Collapsed, cs.Evictions, cs.Invalidated, 100*cs.HitRate())
+	fmt.Fprintf(w, "batch: requests=%d pages=%d\n", m.batches.Value(), m.batchPages.Value())
 	tc := treeCacheSnapshot()
 	fmt.Fprintf(w, "tree-cache: enabled=%v entries=%d lookups=%d identical=%d hits=%d misses=%d early-exits=%d evictions=%d hit-rate=%.1f%%\n",
 		tc.Enabled, tc.Entries, tc.Lookups, tc.Identical, tc.Hits, tc.Misses,
@@ -232,14 +283,14 @@ func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism in
 		ratio(ps.RenderScratch.Reuses, ps.RenderScratch.Acquires),
 		ps.ApplyScratch.Acquires, ps.ApplyScratch.Reuses,
 		ratio(ps.ApplyScratch.Reuses, ps.ApplyScratch.Acquires))
-	fmt.Fprintf(w, "engines:   %d\n\n", len(engineNames))
+	fmt.Fprintf(w, "engines:   %d\n\n", len(info.Engines))
 
 	// Show every loaded engine, including ones never hit, plus any
 	// engine that collected metrics before being removed; the merged set
 	// is sorted so consecutive scrapes are diffable.
 	m.mu.Lock()
 	names := map[string]bool{}
-	for _, n := range engineNames {
+	for _, n := range info.Engines {
 		names[n] = true
 	}
 	for n := range m.engines {
@@ -252,18 +303,24 @@ func (m *Metrics) writeStatusz(w io.Writer, engineNames []string, parallelism in
 	}
 	sort.Strings(sorted)
 
-	fmt.Fprintf(w, "%-20s %9s %7s %7s %9s %9s %9s %9s %9s %9s\n",
-		"engine", "requests", "req/s", "errors", "sections", "records", "p50", "p90", "p99", "verdict")
+	fmt.Fprintf(w, "%-20s %9s %7s %7s %9s %9s %9s %9s %9s %4s %10s %9s\n",
+		"engine", "requests", "req/s", "errors", "sections", "records", "p50", "p90", "p99", "gen", "last-swap", "verdict")
 	for _, n := range sorted {
 		em := m.engine(n)
-		fmt.Fprintf(w, "%-20s %9d %7.2f %7d %9d %9d %9s %9s %9s %9s\n",
+		gen, swap := "-", "-"
+		if st, ok := info.Status[n]; ok {
+			gen = fmt.Sprintf("%d", st.Generation)
+			swap = time.Since(st.SwappedAt).Round(time.Second).String() + " ago"
+		}
+		fmt.Fprintf(w, "%-20s %9d %7.2f %7d %9d %9d %9s %9s %9s %4s %10s %9s\n",
 			n, em.requests.Value(), perSecond(em.requests.Value(), uptime),
 			em.errors.Value(),
 			em.sections.Value(), em.records.Value(),
 			fmtQuantile(em.latency, 0.50),
 			fmtQuantile(em.latency, 0.90),
 			fmtQuantile(em.latency, 0.99),
-			q.Verdict(n))
+			gen, swap,
+			info.Quality.Verdict(n))
 	}
 }
 

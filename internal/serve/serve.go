@@ -14,6 +14,17 @@
 //	POST /extract?engine=NAME&q=term+term
 //	                              body: the result page HTML;
 //	                              response: sections with annotated records
+//	POST /extract/batch?engine=NAME
+//	                              body: {"items":[{"engine","q","html"},...]}
+//	                              (or a bare JSON array of items); response:
+//	                              per-item results and per-item errors
+//
+// With SetCache the registry serves byte-identical repeat pages from a
+// content-addressed result cache (see internal/excache): extraction is
+// deterministic per (wrapper generation, page bytes, query), so a hit
+// skips parse, prune, render and wrapper application entirely.  With
+// SetShard the registry owns only its consistent-hash slice of the engine
+// fleet and answers requests for other engines with 421 naming the owner.
 //
 // Error responses are JSON objects {"error": ..., "engine": ...}.  With
 // SetAccessLog the registry emits one structured log line per request
@@ -43,25 +54,44 @@ import (
 
 	"mse/internal/annotate"
 	"mse/internal/core"
+	"mse/internal/excache"
 	"mse/internal/obs"
 	"mse/internal/quality"
+	"mse/internal/shard"
 )
 
 // MaxPageBytes bounds the request body size (result pages beyond a few MB
 // are not search result pages).
 const MaxPageBytes = 8 << 20
 
+// engineEntry is one registered wrapper plus its serving metadata: the raw
+// wrapper JSON (for snapshots), the monotonically increasing generation
+// that tags cache keys, and the time of the last swap.
+type engineEntry struct {
+	ew      *core.EngineWrapper
+	raw     []byte
+	gen     uint64
+	swapped time.Time
+}
+
 // Registry holds the loaded wrappers by engine name.  It is safe for
 // concurrent use; wrappers can be added or replaced while serving.
 type Registry struct {
 	mu       sync.RWMutex
-	wrappers map[string]*core.EngineWrapper
+	wrappers map[string]*engineEntry
 	opts     core.Options
 	metrics  *Metrics
 	log      *slog.Logger
 	limiter  *limiter
 	quality  *quality.Tracker
 	journal  *Journal
+	// cache is the content-addressed extraction result cache; nil (the
+	// default) serves every request through the full pipeline.
+	cache *excache.Cache
+	// ring is the consistent-hash ring when the registry serves one shard
+	// of a larger fleet; nil means the registry owns every engine.
+	ring       *shard.Ring
+	shardIndex int
 }
 
 // NewRegistry returns an empty registry using the given pipeline options
@@ -69,7 +99,7 @@ type Registry struct {
 // override with SetQualityConfig before serving.
 func NewRegistry(opts core.Options) *Registry {
 	return &Registry{
-		wrappers: map[string]*core.EngineWrapper{},
+		wrappers: map[string]*engineEntry{},
 		opts:     opts,
 		metrics:  NewMetrics(),
 		quality:  quality.NewTracker(quality.DefaultConfig()),
@@ -116,8 +146,57 @@ func (r *Registry) SetLimits(maxInflight int, queueTimeout time.Duration) {
 	r.limiter = newLimiter(maxInflight, queueTimeout)
 }
 
-// Add registers (or replaces) a wrapper under the given engine name.
+// SetCache installs the content-addressed extraction result cache, bounded
+// to maxBytes across all entries.  maxBytes <= 0 disables caching (the
+// default).  Call before Handler.
+func (r *Registry) SetCache(maxBytes int64) {
+	r.cache = excache.New(maxBytes)
+}
+
+// Cache returns the installed extraction cache (nil when disabled).
+func (r *Registry) Cache() *excache.Cache { return r.cache }
+
+// SetShard declares this registry to be shard index of total in a fleet
+// split by consistent hashing over engine names.  Requests for engines the
+// shard does not own are answered with 421 naming the owner.  total <= 1
+// restores unsharded serving.
+func (r *Registry) SetShard(index, total int) error {
+	if total <= 1 {
+		r.ring, r.shardIndex = nil, 0
+		return nil
+	}
+	if index < 0 || index >= total {
+		return fmt.Errorf("serve: shard index %d out of range [0,%d)", index, total)
+	}
+	r.ring = shard.NewRing(total)
+	r.shardIndex = index
+	return nil
+}
+
+// Owns reports whether this registry's shard owns the engine (always true
+// when unsharded).
+func (r *Registry) Owns(engine string) bool {
+	return r.ring == nil || r.ring.Owner(engine) == r.shardIndex
+}
+
+// ShardInfo returns (index, total, sharded).
+func (r *Registry) ShardInfo() (int, int, bool) {
+	if r.ring == nil {
+		return 0, 1, false
+	}
+	return r.shardIndex, r.ring.Shards(), true
+}
+
+// Add registers (or replaces) a wrapper under the given engine name.  A
+// replacement bumps the engine's generation, which orphans every cache
+// entry extracted under the old wrapper — no stale hit can survive a swap.
 func (r *Registry) Add(name string, data []byte) error {
+	return r.addGen(name, data, 0)
+}
+
+// addGen is Add with an explicit generation (0 auto-increments); snapshot
+// restore uses it to resume the generation sequence it saved.
+func (r *Registry) addGen(name string, data []byte, gen uint64) error {
 	var ew core.EngineWrapper
 	if err := json.Unmarshal(data, &ew); err != nil {
 		return fmt.Errorf("serve: wrapper %q: %w", name, err)
@@ -126,9 +205,23 @@ func (r *Registry) Add(name string, data []byte) error {
 	// Compile eagerly so the first request after a wrapper swap pays no
 	// lowering cost (and signature interning happens off the hot path).
 	ew.Compile()
+	raw := make([]byte, len(data))
+	copy(raw, data)
 	r.mu.Lock()
-	r.wrappers[name] = &ew
+	prev := r.wrappers[name]
+	if gen == 0 {
+		gen = 1
+		if prev != nil {
+			gen = prev.gen + 1
+		}
+	}
+	r.wrappers[name] = &engineEntry{ew: &ew, raw: raw, gen: gen, swapped: time.Now()}
 	r.mu.Unlock()
+	if prev != nil {
+		// Reclaim the orphaned generation's bytes eagerly; correctness does
+		// not depend on this (the generation is part of the cache key).
+		r.cache.Invalidate(name, gen)
+	}
 	return nil
 }
 
@@ -144,12 +237,29 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// get returns the wrapper for an engine.
-func (r *Registry) get(name string) (*core.EngineWrapper, bool) {
+// EngineStatus describes one registered engine's serving metadata.
+type EngineStatus struct {
+	Generation uint64    `json:"generation"`
+	SwappedAt  time.Time `json:"swapped_at"`
+}
+
+// Status returns per-engine generation and last-swap time.
+func (r *Registry) Status() map[string]EngineStatus {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	ew, ok := r.wrappers[name]
-	return ew, ok
+	out := make(map[string]EngineStatus, len(r.wrappers))
+	for n, e := range r.wrappers {
+		out[n] = EngineStatus{Generation: e.gen, SwappedAt: e.swapped}
+	}
+	return out
+}
+
+// get returns the entry for an engine.
+func (r *Registry) get(name string) (*engineEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.wrappers[name]
+	return e, ok
 }
 
 // unitJSON is the wire form of one annotated data unit.
@@ -188,17 +298,34 @@ func (r *Registry) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, r.Names())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, r.metrics.snapshot())
+		writeJSON(w, http.StatusOK, r.metrics.snapshot(r.cache))
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		r.metrics.writeStatusz(w, r.Names(), r.opts.Parallelism, r.quality)
+		r.metrics.writeStatusz(w, r.statusInfo())
 	})
 	mux.HandleFunc("/driftz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.quality.Report())
 	})
 	mux.HandleFunc("/extract", r.handleExtract)
+	mux.HandleFunc("/extract/batch", r.handleExtractBatch)
 	return r.instrument(r.recoverer(mux))
+}
+
+// statusInfo assembles the registry-side half of the /statusz page.
+func (r *Registry) statusInfo() StatusInfo {
+	idx, total, sharded := r.ShardInfo()
+	return StatusInfo{
+		Engines:     r.Names(),
+		Status:      r.Status(),
+		Parallelism: r.opts.Parallelism,
+		Quality:     r.quality,
+		Cache:       r.cache.Stats(),
+		CacheOn:     r.cache != nil,
+		ShardIndex:  idx,
+		ShardCount:  total,
+		Sharded:     sharded,
+	}
 }
 
 // RequestID returns the correlation ID assigned to the request by the
@@ -338,7 +465,11 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "", "missing ?engine=")
 		return
 	}
-	ew, ok := r.get(name)
+	if !r.Owns(name) {
+		r.writeMisrouted(w, name)
+		return
+	}
+	ent, ok := r.get(name)
 	if !ok {
 		// Deliberately not tracked per engine: arbitrary names in the
 		// query string must not grow the metrics map without bound.
@@ -437,46 +568,174 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 		root = obs.NewSpan(obs.RootExtract)
 	}
 
-	start := time.Now()
-	sections, lease, err := ew.ExtractLeasedObs(req.Context(), html, query, root)
-	elapsed := time.Since(start)
-	em.latency.Observe(elapsed)
+	out, err := r.extractEntry(req.Context(), name, ent, em, html, query, root)
 	if err != nil {
-		if errors.Is(err, core.ErrCanceled) {
-			// The pipeline aborted cooperatively; every pooled resource is
-			// already back (ExtractLeasedObs releases on the way out).
-			// The drift detector does not see this page: a vanished client
-			// or an expired deadline says nothing about the engine.
-			r.metrics.canceled.Inc()
-			if errors.Is(req.Context().Err(), context.DeadlineExceeded) {
-				writeError(w, http.StatusServiceUnavailable, name, "deadline exceeded during extraction")
-			} else {
-				writeError(w, statusClientClosedRequest, name, "client canceled during extraction")
-			}
-			return
-		}
-		em.errors.Inc()
-		r.metrics.errors.Inc()
-		a := r.quality.Observe(name, quality.Observation{Latency: elapsed, Err: true})
-		em.applyQuality(a)
 		if jev != nil {
 			jev.Error = err.Error()
-			journalQuality(jev, a)
+			if out.assessed {
+				journalQuality(jev, out.assessment)
+			}
 		}
-		writeError(w, http.StatusInternalServerError, name, "extraction failed: "+err.Error())
+		r.writeExtractError(w, req.Context(), name, err)
 		return
 	}
-	// Deferred — not called after the response — so a panic while building
-	// or writing the response still returns the page and its parse arena
-	// to the pools.  The sections hold only plain strings and ints, so the
-	// response outlives the lease regardless.
-	defer r.ReleasePage(lease)
-	if extractTestHook != nil {
-		extractTestHook(name)
+	if out.cached {
+		// A cache hit serves the same sections the miss already counted
+		// once; keep the served-totals counters honest either way.
+		em.sections.Add(int64(out.entry.Sections))
+		em.records.Add(int64(out.entry.Records))
 	}
+	if jev != nil {
+		jev.Sections = out.entry.Sections
+		jev.Records = out.entry.Records
+		jev.Cached = out.cached
+		if out.assessed {
+			journalQuality(jev, out.assessment)
+		}
+		jev.StagesMs = stageTimings(root)
+	}
+	writeBody(w, http.StatusOK, out.entry.Body)
+}
 
+// extractErrorStatus maps an extraction error to a status and message:
+// cooperative cancellation (the pipeline's ErrCanceled or a singleflight
+// waiter's own context) becomes 499/503 without touching per-engine error
+// counters — a vanished client says nothing about the engine — and
+// anything else is a 500 whose counters the fill path already fed.
+func (r *Registry) extractErrorStatus(ctx context.Context, err error) (int, string) {
+	if errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		r.metrics.canceled.Inc()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return http.StatusServiceUnavailable, "deadline exceeded during extraction"
+		}
+		return statusClientClosedRequest, "client canceled during extraction"
+	}
+	return http.StatusInternalServerError, "extraction failed: " + err.Error()
+}
+
+func (r *Registry) writeExtractError(w http.ResponseWriter, ctx context.Context, name string, err error) {
+	status, msg := r.extractErrorStatus(ctx, err)
+	writeError(w, status, name, msg)
+}
+
+// writeMisrouted answers a request for an engine this shard does not own:
+// 421 plus the owner's index, so a thin front tier (or the client itself)
+// can re-aim the request without any server-side proxying.
+func (r *Registry) writeMisrouted(w http.ResponseWriter, name string) {
+	r.metrics.misrouted.Inc()
+	idx, total, _ := r.ShardInfo()
+	owner := r.ring.Owner(name)
+	writeJSON(w, http.StatusMisdirectedRequest, misrouteJSON{
+		Error:      fmt.Sprintf("engine %q is owned by shard %d/%d (this is shard %d)", name, owner, total, idx),
+		Engine:     name,
+		OwnerShard: owner,
+		Shards:     total,
+	})
+}
+
+// misrouteJSON is the wire form of a 421 shard-misroute response.
+type misrouteJSON struct {
+	Error      string `json:"error"`
+	Engine     string `json:"engine"`
+	OwnerShard int    `json:"owner_shard"`
+	Shards     int    `json:"shards"`
+}
+
+// extractOutcome is what the shared extraction core hands back to the
+// single, batch and API callers.
+type extractOutcome struct {
+	entry  *excache.Entry
+	cached bool // served from the cache (resident hit or collapsed miss)
+	// assessment is the drift verdict fed on the fill path; hits carry
+	// none (assessed=false) — a replayed result says nothing new about
+	// the engine.
+	assessment quality.Assessment
+	assessed   bool
+}
+
+// extractEntry is the one extraction path every serving surface shares:
+// it consults the content-addressed cache (when installed) and, on a miss,
+// runs the full pipeline, serializes the response once, feeds the
+// per-engine metrics and the drift detector, and caches the entry.
+// Concurrent identical misses collapse to one pipeline run.
+func (r *Registry) extractEntry(ctx context.Context, name string, ent *engineEntry, em *engineMetrics, html string, query []string, root *obs.Span) (extractOutcome, error) {
+	var out extractOutcome
+	fill := func() (*excache.Entry, error) {
+		start := time.Now()
+		sections, lease, err := ent.ew.ExtractLeasedObs(ctx, html, query, root)
+		elapsed := time.Since(start)
+		em.latency.Observe(elapsed)
+		if err != nil {
+			if errors.Is(err, core.ErrCanceled) {
+				// The pipeline aborted cooperatively; every pooled resource
+				// is already back (ExtractLeasedObs releases on the way
+				// out).  The drift detector does not see this page: a
+				// vanished client or an expired deadline says nothing about
+				// the engine.
+				return nil, err
+			}
+			em.errors.Inc()
+			r.metrics.errors.Inc()
+			out.assessment = r.quality.Observe(name, quality.Observation{Latency: elapsed, Err: true})
+			out.assessed = true
+			em.applyQuality(out.assessment)
+			return nil, err
+		}
+		// Deferred — not called right after serialization — so a panic while
+		// building the entry still returns the page and its parse arena to
+		// the pools.  The entry holds only plain bytes, so it outlives the
+		// lease (and any number of future cache hits) regardless.
+		defer r.ReleasePage(lease)
+		if extractTestHook != nil {
+			extractTestHook(name)
+		}
+		e, err := buildEntry(name, sections)
+		if err != nil {
+			em.errors.Inc()
+			r.metrics.errors.Inc()
+			return nil, err
+		}
+		em.sections.Add(int64(e.Sections))
+		em.records.Add(int64(e.Records))
+		if e.Sections == 0 {
+			em.empty.Inc()
+		}
+		// Feed the drift detector and mirror its state onto the quality
+		// gauges; a verdict change is worth an operator-visible log line.
+		out.assessment = r.quality.Observe(name, quality.Observation{
+			Sections: e.Sections,
+			Records:  e.Records,
+			Latency:  elapsed,
+		})
+		out.assessed = true
+		em.applyQuality(out.assessment)
+		if out.assessment.Changed && r.log != nil {
+			r.log.Warn("drift verdict changed",
+				"engine", name,
+				"verdict", out.assessment.Verdict.String(),
+				"anomaly_rate", out.assessment.AnomalyRate,
+			)
+		}
+		return e, nil
+	}
+	if r.cache == nil {
+		e, err := fill()
+		out.entry = e
+		return out, err
+	}
+	key := excache.Key{Engine: name, Gen: ent.gen, Hash: excache.HashPage(html, query)}
+	e, hit, _, err := r.cache.Do(ctx, key, fill)
+	out.entry, out.cached = e, hit
+	return out, err
+}
+
+// buildEntry serializes sections into the exact bytes /extract writes
+// (indented JSON plus trailing newline), so cached and uncached responses
+// are byte-identical by construction.
+func buildEntry(name string, sections []*core.Section) (*excache.Entry, error) {
 	resp := extractResponse{Engine: name, Sections: make([]sectionJSON, 0, len(sections))}
-	records := int64(0)
+	records := 0
 	for _, s := range sections {
 		sj := sectionJSON{Heading: s.Heading, Records: make([]recordJSON, 0, len(s.Records))}
 		for _, rec := range s.Records {
@@ -486,38 +745,42 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 			}
 			sj.Records = append(sj.Records, rj)
 		}
-		records += int64(len(s.Records))
+		records += len(s.Records)
 		resp.Sections = append(resp.Sections, sj)
 	}
-	em.sections.Add(int64(len(sections)))
-	em.records.Add(records)
-	if len(sections) == 0 {
-		em.empty.Inc()
+	body, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serializing response: %w", err)
 	}
+	body = append(body, '\n')
+	return &excache.Entry{Body: body, Sections: len(sections), Records: records}, nil
+}
 
-	// Feed the drift detector and mirror its state onto the quality
-	// gauges; a verdict change is worth an operator-visible log line.
-	a := r.quality.Observe(name, quality.Observation{
-		Sections: len(sections),
-		Records:  int(records),
-		Latency:  elapsed,
-	})
-	em.applyQuality(a)
-	if a.Changed && r.log != nil {
-		r.log.Warn("drift verdict changed",
-			"engine", name,
-			"verdict", a.Verdict.String(),
-			"anomaly_rate", a.AnomalyRate,
-			"request_id", RequestID(req.Context()),
-		)
+// ExtractCached runs one extraction for engine through the same cached
+// path /extract serves, bypassing HTTP, admission control and journaling.
+// It returns the serialized response body and whether it came from the
+// cache.  This is the programmatic surface benchmarks and differential
+// tests drive.
+func (r *Registry) ExtractCached(ctx context.Context, engine, html string, query []string) ([]byte, bool, error) {
+	if !r.Owns(engine) {
+		owner := r.ring.Owner(engine)
+		return nil, false, fmt.Errorf("serve: engine %q owned by shard %d, not this shard", engine, owner)
 	}
-	if jev != nil {
-		jev.Sections = len(sections)
-		jev.Records = int(records)
-		journalQuality(jev, a)
-		jev.StagesMs = stageTimings(root)
+	ent, ok := r.get(engine)
+	if !ok {
+		return nil, false, fmt.Errorf("serve: unknown engine %q", engine)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	em := r.metrics.engine(engine)
+	em.requests.Inc()
+	out, err := r.extractEntry(ctx, engine, ent, em, html, query, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if out.cached {
+		em.sections.Add(int64(out.entry.Sections))
+		em.records.Add(int64(out.entry.Records))
+	}
+	return out.entry.Body, out.cached, nil
 }
 
 // journalQuality copies an assessment onto a journal event.
@@ -549,6 +812,13 @@ var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // extraction.  It must be called after the response derived from the
 // leased page has been fully written; it is safe on a nil lease.
 func (r *Registry) ReleasePage(lease *core.PageLease) { lease.Release() }
+
+// writeBody writes a pre-serialized JSON response body (a cache entry).
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

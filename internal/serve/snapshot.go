@@ -1,0 +1,90 @@
+package serve
+
+// Registry snapshots: one JSON document holding every loaded wrapper blob
+// together with its generation, so a restarted shard resumes exactly where
+// it left off — same wrappers, same generations, and therefore the same
+// cache-key space (a warm peer cache or a persisted result store stays
+// valid across the restart instead of being orphaned by a generation
+// reset).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// snapshotVersion is the format version SaveSnapshot writes and
+// LoadSnapshot accepts.
+const snapshotVersion = 1
+
+// snapshotFile is the wire form of a registry snapshot.
+type snapshotFile struct {
+	Version int              `json:"version"`
+	SavedAt string           `json:"saved_at"`
+	Engines []snapshotEngine `json:"engines"`
+}
+
+// snapshotEngine is one engine in a snapshot: the raw wrapper JSON exactly
+// as it was Added, plus the generation it was serving under.
+type snapshotEngine struct {
+	Name       string          `json:"name"`
+	Generation uint64          `json:"generation"`
+	Wrapper    json.RawMessage `json:"wrapper"`
+}
+
+// SaveSnapshot writes the registry's current wrapper fleet — blobs and
+// generations — as one JSON document, sorted by engine name so consecutive
+// snapshots are diffable.
+func (r *Registry) SaveSnapshot(w io.Writer) error {
+	r.mu.RLock()
+	snap := snapshotFile{Version: snapshotVersion, SavedAt: nowRFC3339()}
+	for name, e := range r.wrappers {
+		snap.Engines = append(snap.Engines, snapshotEngine{
+			Name:       name,
+			Generation: e.gen,
+			Wrapper:    json.RawMessage(e.raw),
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(snap.Engines, func(i, j int) bool { return snap.Engines[i].Name < snap.Engines[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("serve: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot restores engines from a snapshot written by SaveSnapshot,
+// preserving each engine's generation.  When the registry is sharded,
+// engines owned by other shards are skipped — one fleet-wide snapshot can
+// feed every shard.  Returns the number of engines loaded.
+func (r *Registry) LoadSnapshot(rd io.Reader) (int, error) {
+	var snap snapshotFile
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&snap); err != nil {
+		return 0, fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("serve: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	loaded := 0
+	for _, e := range snap.Engines {
+		if e.Name == "" {
+			return loaded, fmt.Errorf("serve: snapshot engine %d has no name", loaded)
+		}
+		if !r.Owns(e.Name) {
+			continue
+		}
+		gen := e.Generation
+		if gen == 0 {
+			gen = 1
+		}
+		if err := r.addGen(e.Name, e.Wrapper, gen); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func engineNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("engine-%03d", i)
+	}
+	return names
+}
+
+// TestOwnerDeterministic: two independently built rings must agree on every
+// assignment — processes coordinate through the hash alone.
+func TestOwnerDeterministic(t *testing.T) {
+	a, b := NewRing(5), NewRing(5)
+	for _, name := range engineNames(500) {
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("rings disagree on %q: %d vs %d", name, a.Owner(name), b.Owner(name))
+		}
+	}
+}
+
+func TestOwnerInRangeAndSingleShard(t *testing.T) {
+	r := NewRing(4)
+	for _, name := range engineNames(200) {
+		if o := r.Owner(name); o < 0 || o >= 4 {
+			t.Fatalf("owner(%q) = %d out of range", name, o)
+		}
+	}
+	one := NewRing(1)
+	for _, name := range engineNames(50) {
+		if one.Owner(name) != 0 {
+			t.Fatalf("single-shard ring routed %q to %d", name, one.Owner(name))
+		}
+	}
+	if NewRing(0).Shards() != 1 {
+		t.Fatal("NewRing(0) did not clamp to 1 shard")
+	}
+}
+
+// TestBalance: with 128 virtual nodes per shard, a paper-scale fleet (119
+// engines) over 4 shards should not leave any shard starved or hoarding.
+func TestBalance(t *testing.T) {
+	const shards = 4
+	r := NewRing(shards)
+	counts := make([]int, shards)
+	names := engineNames(119)
+	for _, name := range names {
+		counts[r.Owner(name)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d owns no engines: %v", s, counts)
+		}
+		if c > 2*len(names)/shards {
+			t.Fatalf("shard %d owns %d of %d engines (counts %v) — ring badly unbalanced",
+				s, c, len(names), counts)
+		}
+	}
+	t.Logf("ownership over %d engines / %d shards: %v", len(names), shards, counts)
+}
+
+// TestStability: growing the fleet from N to N+1 shards must move only a
+// minority of engines — the consistent-hashing property that makes rolling
+// resharding cheap.
+func TestStability(t *testing.T) {
+	names := engineNames(1000)
+	before, after := NewRing(4), NewRing(5)
+	moved := 0
+	for _, name := range names {
+		ob, oa := before.Owner(name), after.Owner(name)
+		if ob != oa {
+			moved++
+			if oa != 4 {
+				// A consistent ring only moves keys *to* the new shard;
+				// movement between surviving shards is the failure mode of
+				// modulo hashing.
+				t.Fatalf("engine %q moved %d -> %d, not to the new shard", name, ob, oa)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new shard received nothing")
+	}
+	if frac := float64(moved) / float64(len(names)); frac > 0.40 {
+		t.Fatalf("adding one shard moved %.0f%% of engines, want ~1/5", 100*frac)
+	}
+}
