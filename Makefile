@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race drift smoke check stress bench benchcmp benchgate clean
+.PHONY: all build test vet race drift relearn smoke check stress bench benchcmp benchgate clean
 
 all: build
 
@@ -23,7 +23,8 @@ vet:
 # the race detector, plus the end-to-end differential tests that pin the
 # cached/parallel and pooled-arena outputs to their reference paths.
 race:
-	$(GO) test -race ./internal/obs ./internal/quality ./internal/serve \
+	$(GO) test -race ./internal/obs ./internal/quality ./internal/relearn \
+		./internal/serve \
 		./internal/editdist ./internal/dom ./internal/par ./internal/cluster \
 		./internal/core ./internal/htmlparse ./internal/layout ./internal/wrapper
 	$(GO) test -race -run 'TestDifferential' .
@@ -35,13 +36,21 @@ race:
 drift:
 	$(GO) test -count=1 -run 'TestDriftScheduleEndToEnd' ./internal/serve
 
+# relearn replays the self-healing loop through the full HTTP stack: an
+# engine redesigns its template mid-run, the drift verdict schedules a
+# background relearn over the sampled traffic, the canary-validated
+# candidate hot-swaps in with zero failed requests, plus the failure path
+# (backoff, circuit breaker, manual recovery) under the race detector.
+relearn:
+	$(GO) test -race -count=1 -run 'TestRelearnHealLoopEndToEnd|TestRelearnFailureBackoffCircuitAndManualRecovery' ./internal/serve
+
 # smoke builds the real mse-serve binary and drives it end to end with
 # the JSON access log and wide-event journal on, strict-parsing /metrics,
 # /driftz, the journal file and every log line.
 smoke:
 	$(GO) test -count=1 -run 'TestServeSmoke' ./cmd/mse-serve
 
-check: build vet test race drift smoke
+check: build vet test race drift relearn smoke
 
 # stress storms the extraction service with hundreds of concurrent
 # deadline-bearing /extract requests under the race detector: admission

@@ -8,6 +8,8 @@
 //	          [-journal PATH] [-journal-sample N] [-drift-window N]
 //	          [-cache-bytes N] [-shard k/N]
 //	          [-snapshot PATH] [-snapshot-save PATH]
+//	          [-relearn] [-relearn-sample-bytes N] [-relearn-min-pages N]
+//	          [-relearn-backoff D]
 //
 // Every *.json file in the wrappers directory is loaded as one engine
 // wrapper named after the file (sans extension).  Endpoints:
@@ -17,8 +19,21 @@
 //	GET  /metrics                           JSON metrics snapshot
 //	GET  /statusz                           human-readable status page
 //	GET  /driftz                            per-engine drift report
+//	GET  /relearnz                          self-healing lifecycle report
+//	POST /relearn/NAME                      manually trigger a relearn
 //	POST /extract?engine=NAME&q=term+term   (body: result page HTML)
 //	POST /extract/batch                     (body: {"items":[...]})
+//
+// With -relearn the service heals drifted engines automatically: recent
+// request pages are sampled into a bounded per-engine reservoir (byte
+// budget via -relearn-sample-bytes, content-address-deduped), a DRIFTED
+// verdict schedules a background relearn over at least -relearn-min-pages
+// sampled pages, the candidate wrapper must beat the incumbent on a
+// held-out canary slice, and only then is it hot-swapped — generation
+// bump, cache invalidation, drift-baseline reset and snapshot persistence
+// included.  Failed attempts retry with capped exponential backoff
+// (-relearn-backoff); repeated failure pins the engine DEGRADED until an
+// operator POSTs /relearn/NAME.
 //
 // -cache-bytes bounds the content-addressed extraction result cache (0
 // disables it): byte-identical repeat pages are answered from the cache
@@ -62,6 +77,7 @@ import (
 
 	"mse/internal/core"
 	"mse/internal/quality"
+	"mse/internal/relearn"
 	"mse/internal/serve"
 )
 
@@ -91,6 +107,14 @@ func main() {
 		"load the wrapper fleet from this snapshot file when it exists (falls back to -wrappers)")
 	snapshotSave := flag.String("snapshot-save", "",
 		"write a registry snapshot to this file after loading")
+	relearnOn := flag.Bool("relearn", false,
+		"self-heal drifted engines: sample served pages, relearn in the background on a DRIFTED verdict, canary-validate and hot-swap")
+	relearnSampleBytes := flag.Int64("relearn-sample-bytes", 8<<20,
+		"per-engine byte budget for the relearn page reservoir")
+	relearnMinPages := flag.Int("relearn-min-pages", 6,
+		"minimum sampled pages before a relearn attempt runs")
+	relearnBackoff := flag.Duration("relearn-backoff", 5*time.Second,
+		"initial retry delay after a failed relearn attempt (doubles per failure, capped)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -141,6 +165,23 @@ func main() {
 		if err := reg.SetShard(k, n); err != nil {
 			fatal(logger, "configuring shard", err)
 		}
+	}
+	// Arm swap persistence: every wrapper swap (relearn- or operator-driven)
+	// rewrites this snapshot, so a restart cannot resurrect a replaced
+	// wrapper.  -snapshot-save wins when both paths are given.
+	persistPath := *snapshotSave
+	if persistPath == "" {
+		persistPath = *snapshotPath
+	}
+	reg.SetSnapshotPath(persistPath)
+	if *relearnOn {
+		cfg := relearn.DefaultConfig()
+		cfg.SampleBytes = *relearnSampleBytes
+		cfg.MinPages = *relearnMinPages
+		cfg.Backoff = *relearnBackoff
+		ctrl := reg.EnableRelearn(cfg)
+		// Jobs cancel cooperatively on shutdown, after the server drains.
+		defer ctrl.Close()
 	}
 
 	loaded, skipped := 0, 0

@@ -79,6 +79,9 @@ func TestServeSmoke(t *testing.T) {
 		"-journal", journal,
 		"-journal-sample", "1",
 		"-drift-window", "12",
+		"-relearn",
+		"-relearn-min-pages", "4",
+		"-relearn-backoff", "100ms",
 		"-drain", "5s",
 	)
 	cmd.Stderr = logFile
@@ -135,9 +138,14 @@ func TestServeSmoke(t *testing.T) {
 	resp.Body.Close()
 	var metrics struct {
 		Metrics struct {
+			Counters   map[string]int64           `json:"counters"`
 			Gauges     map[string]int64           `json:"gauges"`
 			Histograms map[string]json.RawMessage `json:"histograms"`
 		} `json:"metrics"`
+		Relearn *struct {
+			Enabled        bool  `json:"enabled"`
+			ReservoirPages int64 `json:"reservoir_pages"`
+		} `json:"relearn"`
 	}
 	if err := json.Unmarshal(metricsBody, &metrics); err != nil {
 		t.Fatalf("/metrics malformed: %v\n%s", err, metricsBody)
@@ -153,6 +161,45 @@ func TestServeSmoke(t *testing.T) {
 		if !strings.Contains(string(lat), q) {
 			t.Fatalf("latency histogram missing %s:\n%s", q, lat)
 		}
+	}
+	for _, c := range []string{
+		"relearn.jobs_total", "relearn.failures_total", "relearn.canary_rejects_total",
+		"relearn.swaps_total", "relearn.circuit_open_total",
+	} {
+		if _, ok := metrics.Metrics.Counters[c]; !ok {
+			t.Fatalf("/metrics missing counter %s:\n%s", c, metricsBody)
+		}
+	}
+	if metrics.Relearn == nil || !metrics.Relearn.Enabled {
+		t.Fatalf("/metrics relearn block missing or disabled under -relearn:\n%s", metricsBody)
+	}
+	if metrics.Relearn.ReservoirPages != pages {
+		t.Fatalf("/metrics relearn reservoir_pages = %d, want %d (every served page sampled)",
+			metrics.Relearn.ReservoirPages, pages)
+	}
+
+	// /relearnz must parse and report the sampled engine as healthy.
+	resp, err = client.Get(base + "/relearnz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relearnBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var relearnz struct {
+		Enabled bool `json:"enabled"`
+		Engines []struct {
+			Engine         string `json:"engine"`
+			State          string `json:"state"`
+			ReservoirPages int    `json:"reservoir_pages"`
+		} `json:"engines"`
+	}
+	if err := json.Unmarshal(relearnBody, &relearnz); err != nil {
+		t.Fatalf("/relearnz malformed: %v\n%s", err, relearnBody)
+	}
+	if !relearnz.Enabled || len(relearnz.Engines) != 1 ||
+		relearnz.Engines[0].Engine != "demo" || relearnz.Engines[0].State != "IDLE" ||
+		relearnz.Engines[0].ReservoirPages != pages {
+		t.Fatalf("/relearnz unexpected: %s", relearnBody)
 	}
 
 	// /driftz must parse and report the engine.

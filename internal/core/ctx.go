@@ -95,6 +95,23 @@ func (ew *EngineWrapper) ExtractLeasedCtx(ctx context.Context, html string, quer
 	return ew.ExtractLeasedObs(ctx, html, query, root)
 }
 
+// CountsCtx extracts the page and reports only the section and record
+// counts, releasing all pooled memory before returning.  It is the canary
+// scorer of the relearn lifecycle: validation needs the shape of a
+// wrapper's output on a held-out page, not the content, and must not hold
+// leases across many pages.  The cancellation contract is ExtractCtx's.
+func (ew *EngineWrapper) CountsCtx(ctx context.Context, html string, query []string) (sections, records int, err error) {
+	secs, lease, err := ew.ExtractLeasedCtx(ctx, html, query)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, s := range secs {
+		records += len(s.Records)
+	}
+	lease.Release()
+	return len(secs), records, nil
+}
+
 // ExtractLeasedObs is ExtractLeasedCtx recording its per-stage spans —
 // render, wrapper_build, families, plus the sections/records counters —
 // under the caller-supplied root span instead of the wrapper's Tracer.

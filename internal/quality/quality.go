@@ -186,6 +186,11 @@ type Tracker struct {
 
 	mu      sync.Mutex
 	engines map[string]*engineState
+	// onChange, when set, is called after every verdict transition —
+	// outside t.mu, so it may call back into the tracker (e.g. Report) or
+	// do slow work (journaling, scheduling a relearn) without blocking
+	// concurrent Observes.
+	onChange func(engine string, from, to Verdict)
 }
 
 // engineState is the per-engine baseline and verdict machine.
@@ -227,6 +232,31 @@ func NewTracker(cfg Config) *Tracker {
 // Config returns the tracker's effective configuration.
 func (t *Tracker) Config() Config { return t.cfg }
 
+// SetOnChange installs the verdict-transition hook.  Call it before the
+// tracker starts observing traffic (it is not synchronized against
+// Observe).  Nil-safe.
+func (t *Tracker) SetOnChange(fn func(engine string, from, to Verdict)) {
+	if t == nil {
+		return
+	}
+	t.onChange = fn
+}
+
+// Reset drops the engine's baselines, anomaly rate and verdict so they
+// re-warm from scratch.  The wrapper-swap path calls it: a freshly
+// installed wrapper must never be judged against the EWMA normal of the
+// template its predecessor was learned on (nor inherit a DRIFTED verdict
+// it has not earned).  The next observation re-creates the state and
+// begins a new warm-up prefix.  Nil-safe.
+func (t *Tracker) Reset(engine string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.engines, engine)
+}
+
 func (t *Tracker) state(engine string) *engineState {
 	es, ok := t.engines[engine]
 	if !ok {
@@ -255,7 +285,6 @@ func (t *Tracker) Observe(engine string, o Observation) Assessment {
 		return Assessment{}
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	es := t.state(engine)
 	es.pages++
 	es.last = o
@@ -302,14 +331,25 @@ func (t *Tracker) Observe(engine string, o Observation) Assessment {
 		es.anomalyRate += t.alpha * (x - es.anomalyRate)
 	}
 
+	from := es.verdict
 	changed := t.updateVerdict(es, warmedBefore)
-	return Assessment{
+	a := Assessment{
 		Verdict:     es.verdict,
 		Changed:     changed,
 		Anomalous:   anomalous,
 		Score:       score,
 		AnomalyRate: es.anomalyRate,
 	}
+	t.mu.Unlock()
+	// The transition hook runs outside t.mu: it may schedule a relearn,
+	// journal, or read the tracker back without stalling concurrent
+	// Observes.  Transitions on one engine are serialized only as much as
+	// its observations are; callers needing strict ordering must not
+	// observe one engine concurrently.
+	if changed && t.onChange != nil {
+		t.onChange(engine, from, a.Verdict)
+	}
+	return a
 }
 
 // assess scores one post-warm-up page against the baseline.

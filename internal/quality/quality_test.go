@@ -278,3 +278,92 @@ func TestVerdictJSON(t *testing.T) {
 		}
 	}
 }
+
+// driveToDrifted warms an engine on stable pages then feeds empties until
+// the verdict reads DRIFTED.
+func driveToDrifted(t *testing.T, tr *Tracker, engine string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		tr.Observe(engine, stableObs(rng))
+	}
+	for i := 0; i < 200; i++ {
+		if a := tr.Observe(engine, Observation{}); a.Verdict == Drifted {
+			return
+		}
+	}
+	t.Fatalf("%s never reached DRIFTED", engine)
+}
+
+// TestResetRewarmsBaseline: Reset drops the engine's state entirely — the
+// verdict reads OK, the report no longer lists it, and the next pages are a
+// fresh warm-up prefix (pinned OK, never anomalous), exactly what a wrapper
+// swap needs so the new wrapper is not judged against the old template's
+// normal.
+func TestResetRewarmsBaseline(t *testing.T) {
+	tr := NewTracker(testConfig())
+	driveToDrifted(t, tr, "e")
+	tr.Reset("e")
+	if v := tr.Verdict("e"); v != OK {
+		t.Fatalf("verdict after Reset = %v, want OK", v)
+	}
+	if rep := tr.Report(); len(rep.Engines) != 0 {
+		t.Fatalf("report after Reset still lists %d engines", len(rep.Engines))
+	}
+	// Re-warm: pages that would have been screaming anomalies against the
+	// old baseline are ordinary warm-up observations for the new one.
+	for i := 0; i < tr.Config().WarmupPages; i++ {
+		a := tr.Observe("e", Observation{Sections: 0, Records: 0})
+		if a.Verdict != OK || a.Anomalous {
+			t.Fatalf("re-warm page %d: verdict %v anomalous %v, want a fresh warm-up", i, a.Verdict, a.Anomalous)
+		}
+	}
+	if rep := tr.Report(); len(rep.Engines) != 1 || rep.Engines[0].Pages != int64(tr.Config().WarmupPages) {
+		t.Fatalf("report after re-warm = %+v, want 1 engine with a fresh page count", rep.Engines)
+	}
+	// Resetting an engine never observed (or a nil tracker) is a no-op.
+	tr.Reset("ghost")
+	var nilTr *Tracker
+	nilTr.Reset("e")
+	nilTr.SetOnChange(func(string, Verdict, Verdict) {})
+}
+
+// TestOnChangeHookTransitions: the hook fires once per verdict transition
+// with the right from/to pair, never on a non-transition, and runs outside
+// the tracker mutex (calling back into the tracker from the hook must not
+// deadlock).
+func TestOnChangeHookTransitions(t *testing.T) {
+	tr := NewTracker(testConfig())
+	type tran struct{ from, to Verdict }
+	var mu sync.Mutex
+	var trans []tran
+	tr.SetOnChange(func(engine string, from, to Verdict) {
+		if engine != "e" {
+			t.Errorf("hook engine = %q, want e", engine)
+		}
+		// Re-entrancy: a real hook schedules relearns and reads reports.
+		_ = tr.Verdict(engine)
+		_ = tr.Report()
+		mu.Lock()
+		trans = append(trans, tran{from, to})
+		mu.Unlock()
+	})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		tr.Observe("e", stableObs(rng))
+	}
+	mu.Lock()
+	if len(trans) != 0 {
+		t.Fatalf("hook fired %d times on a stable stream", len(trans))
+	}
+	mu.Unlock()
+	for i := 0; i < 200 && tr.Verdict("e") != Drifted; i++ {
+		tr.Observe("e", Observation{})
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []tran{{OK, Suspect}, {Suspect, Drifted}}
+	if len(trans) != len(want) || trans[0] != want[0] || trans[1] != want[1] {
+		t.Fatalf("transitions = %v, want %v", trans, want)
+	}
+}

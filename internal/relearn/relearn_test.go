@@ -1,0 +1,424 @@
+package relearn
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mse/internal/core"
+	"mse/internal/synth"
+)
+
+// --- reservoir ---
+
+func TestReservoirDedupesAndOrders(t *testing.T) {
+	r := newReservoir(1<<20, 8)
+	r.add("<html>a</html>", []string{"q"})
+	r.add("<html>b</html>", []string{"q"})
+	r.add("<html>a</html>", []string{"q"}) // byte-identical resubmission
+	if n, _ := r.size(); n != 2 {
+		t.Fatalf("size after dedupe = %d, want 2", n)
+	}
+	if r.deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", r.deduped)
+	}
+	// Same bytes under a different query is a different content address.
+	r.add("<html>a</html>", []string{"other"})
+	if n, _ := r.size(); n != 3 {
+		t.Fatalf("size with distinct query = %d, want 3", n)
+	}
+	got := r.newest(2)
+	if len(got) != 2 || got[0].html != "<html>b</html>" || got[1].query[0] != "other" {
+		t.Fatalf("newest(2) wrong slice: %+v", got)
+	}
+}
+
+func TestReservoirEvictsOldestUnderBudget(t *testing.T) {
+	page := func(i int) string { return fmt.Sprintf("<p>%03d</p>%s", i, strings.Repeat("x", 90)) }
+	r := newReservoir(500, 100) // each page is 100 bytes → 5 fit
+	for i := 0; i < 8; i++ {
+		r.add(page(i), nil)
+	}
+	n, bytes := r.size()
+	if n != 5 || bytes > 500 {
+		t.Fatalf("size = %d pages / %d bytes, want 5 pages within 500", n, bytes)
+	}
+	if r.evicted != 3 {
+		t.Fatalf("evicted = %d, want 3", r.evicted)
+	}
+	all := r.newest(100)
+	if all[0].html != page(3) || all[len(all)-1].html != page(7) {
+		t.Fatalf("oldest-first eviction violated: first=%q last=%q", all[0].html[:10], all[len(all)-1].html[:10])
+	}
+	// An evicted page's hash is forgotten, so it can be re-sampled.
+	r.add(page(0), nil)
+	if all := r.newest(100); all[len(all)-1].html != page(0) {
+		t.Fatal("evicted page could not re-enter the reservoir")
+	}
+}
+
+func TestReservoirPageCapAndOversize(t *testing.T) {
+	r := newReservoir(1<<20, 3)
+	for i := 0; i < 6; i++ {
+		r.add(fmt.Sprintf("<p>%d</p>", i), nil)
+	}
+	if n, _ := r.size(); n != 3 {
+		t.Fatalf("page cap not enforced: %d pages", n)
+	}
+	big := newReservoir(10, 3)
+	big.add(strings.Repeat("y", 11), nil) // alone over budget: skipped
+	if n, _ := big.size(); n != 0 {
+		t.Fatal("oversized page was admitted")
+	}
+}
+
+func TestReservoirConcurrentAdd(t *testing.T) {
+	r := newReservoir(1<<20, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.add(fmt.Sprintf("<p>%d-%d</p>", g, i), []string{"q"})
+				r.newest(4)
+				r.size()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n, _ := r.size(); n != 64 {
+		t.Fatalf("size = %d, want 64 (cap)", n)
+	}
+}
+
+// --- split ---
+
+func TestSplitPagesStrideAndCaps(t *testing.T) {
+	pages := make([]pageSample, 10)
+	for i := range pages {
+		pages[i].html = fmt.Sprintf("%d", i)
+	}
+	train, holdout := splitPages(pages, 8, 3)
+	if len(holdout) != 3 {
+		t.Fatalf("holdout = %d, want 3", len(holdout))
+	}
+	if holdout[0].html != "1" || holdout[1].html != "4" || holdout[2].html != "7" {
+		t.Fatalf("holdout stride wrong: %v", holdout)
+	}
+	if len(train) != 7 {
+		t.Fatalf("train = %d, want 7", len(train))
+	}
+	// Tiny snapshots train everything (induction needs two pages).
+	train, holdout = splitPages(pages[:2], 8, 3)
+	if len(train) != 2 || len(holdout) != 0 {
+		t.Fatalf("2-page split = %d/%d, want 2/0", len(train), len(holdout))
+	}
+	// trainMax keeps the newest training pages.
+	train, _ = splitPages(pages, 3, 3)
+	if len(train) != 3 || train[2].html != "9" {
+		t.Fatalf("trainMax cap wrong: %v", train)
+	}
+}
+
+// --- config ---
+
+func TestConfigSanitized(t *testing.T) {
+	c := Config{}.sanitized()
+	d := DefaultConfig()
+	if c != d.sanitized() || c.MinPages < 3 || c.BuildParallelism < 1 {
+		t.Fatalf("zero config not defaulted: %+v", c)
+	}
+	c = Config{MinPages: 1, MaxPages: 2, Backoff: time.Second, MaxBackoff: time.Millisecond}.sanitized()
+	if c.MinPages != 3 || c.MaxPages < c.MinPages || c.MaxBackoff < c.Backoff {
+		t.Fatalf("structural minimums not enforced: %+v", c)
+	}
+}
+
+func TestBackoffCappedWithJitter(t *testing.T) {
+	c := NewController(Config{Backoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond}, Hooks{})
+	defer c.Close()
+	for fails := 1; fails <= 10; fails++ {
+		d := c.backoff(fails)
+		if d < 50*time.Millisecond || d > 600*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v outside jittered cap", fails, d)
+		}
+	}
+}
+
+// --- controller lifecycle over a real wrapper pipeline ---
+
+// trainEnv builds a real incumbent wrapper for a synth engine and returns
+// pages from the engine (or a drifted variant) to feed the reservoir.
+func buildWrapper(t *testing.T, e *synth.Engine, n int) *core.EngineWrapper {
+	t.Helper()
+	pages := e.Pages(n)
+	samples := make([]*core.SamplePage, len(pages))
+	for i, p := range pages {
+		samples[i] = &core.SamplePage{HTML: p.HTML, Query: p.Query}
+	}
+	ew, err := core.BuildWrapperCtx(context.Background(), samples, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("BuildWrapper: %v", err)
+	}
+	return ew
+}
+
+func feedPages(c *Controller, engine string, e *synth.Engine, from, to int) {
+	for i := from; i < to; i++ {
+		p := e.Page(i)
+		c.ObservePage(engine, p.HTML, p.Query)
+	}
+}
+
+// testHooks wires a controller to the real core pipeline with a swappable
+// in-memory "registry" of one engine.
+type testHooks struct {
+	mu        sync.Mutex
+	incumbent *core.EngineWrapper
+	swapped   [][]byte
+	events    []Event
+	eventCh   chan Event
+}
+
+// errBox lets tests swap the injected build error atomically (atomic.Value
+// cannot hold a bare nil error).
+type errBox struct{ err error }
+
+func (h *testHooks) hooks(buildErr *atomic.Value) Hooks {
+	return Hooks{
+		Build: func(ctx context.Context, samples []*core.SamplePage) (*core.EngineWrapper, error) {
+			if buildErr != nil {
+				if v := buildErr.Load(); v != nil {
+					if err := v.(errBox).err; err != nil {
+						return nil, err
+					}
+				}
+			}
+			opt := core.DefaultOptions()
+			opt.Parallelism = 1
+			return core.BuildWrapperCtx(ctx, samples, opt)
+		},
+		Incumbent: func(engine string) (*core.EngineWrapper, bool) {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return h.incumbent, h.incumbent != nil
+		},
+		Swap: func(engine string, data []byte) error {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			h.swapped = append(h.swapped, data)
+			return nil
+		},
+		Event: func(ev Event) {
+			h.mu.Lock()
+			h.events = append(h.events, ev)
+			h.mu.Unlock()
+			if h.eventCh != nil {
+				h.eventCh <- ev
+			}
+		},
+	}
+}
+
+func (h *testHooks) waitEvent(t *testing.T, kind string, timeout time.Duration) Event {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev := <-h.eventCh:
+			if ev.Kind == kind {
+				return ev
+			}
+			t.Logf("skipping event %+v", ev)
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s event", kind)
+		}
+	}
+}
+
+func TestControllerHealsDriftedEngine(t *testing.T) {
+	// Seed 21 / id 2 is a fixture whose template redesign fully breaks the
+	// old wrapper: it extracts nothing from drifted pages, so the healed
+	// candidate must strictly dominate in the canary.
+	orig := synth.NewEngine(21, 2, true)
+	drifted := orig.Drifted()
+	h := &testHooks{incumbent: buildWrapper(t, orig, 5), eventCh: make(chan Event, 64)}
+	c := NewController(Config{
+		MinPages: 4, TrainPages: 5, HoldoutPages: 2,
+		Backoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+	}, h.hooks(nil))
+	defer c.Close()
+
+	// The reservoir has sampled only post-drift pages, as it would in
+	// production (old-template pages age out as drift traffic arrives).
+	feedPages(c, "e2", drifted, 0, 7)
+	c.NotifyDrift("e2")
+	ev := h.waitEvent(t, EventSwap, 30*time.Second)
+	if ev.Canary == nil || !ev.Canary.Passed {
+		t.Fatalf("swap event without passing canary: %+v", ev)
+	}
+	// The old-template incumbent extracts nothing from drifted pages, so
+	// the candidate must strictly dominate.
+	if ev.Canary.Candidate.NonEmptyPages == 0 || ev.Canary.Candidate.Records <= ev.Canary.Incumbent.Records {
+		t.Fatalf("canary scores not dominating: %+v", ev.Canary)
+	}
+	h.mu.Lock()
+	nswaps := len(h.swapped)
+	h.mu.Unlock()
+	if nswaps != 1 {
+		t.Fatalf("swapped %d times, want 1", nswaps)
+	}
+	if st := c.EngineState("e2"); st != Idle {
+		t.Fatalf("state after heal = %v, want IDLE", st)
+	}
+	s := c.Stats()
+	if s.Swaps != 1 || s.Jobs < 1 || s.Active != 0 {
+		t.Fatalf("stats after heal: %+v", s)
+	}
+	// Re-notifying with no new drift starts a fresh episode; a candidate
+	// that merely ties the (already healthy) incumbent must be rejected —
+	// swap churn on a healthy engine is a bug.  Install the swapped bytes
+	// as incumbent first, exactly as the registry swap hook would: the
+	// unchanged reservoir then reproduces the same candidate, a tie.
+	h.mu.Lock()
+	var healed core.EngineWrapper
+	if err := json.Unmarshal(h.swapped[0], &healed); err != nil {
+		h.mu.Unlock()
+		t.Fatalf("unmarshal swapped wrapper: %v", err)
+	}
+	healed.SetOptions(core.DefaultOptions())
+	h.incumbent = &healed
+	h.mu.Unlock()
+	c.NotifyDrift("e2")
+	ev = h.waitEvent(t, EventCanaryReject, 30*time.Second)
+	if ev.Canary.Passed {
+		t.Fatalf("tie against healthy incumbent passed canary: %+v", ev.Canary)
+	}
+}
+
+func TestControllerBackoffAndCircuitBreaker(t *testing.T) {
+	// Same broken-by-drift fixture as the heal test: the incumbent scores
+	// zero on the drifted reservoir, so once the injected build failure is
+	// lifted the candidate passes the canary.
+	orig := synth.NewEngine(21, 2, true)
+	h := &testHooks{incumbent: buildWrapper(t, orig, 5), eventCh: make(chan Event, 64)}
+	var buildErr atomic.Value
+	buildErr.Store(errBox{errors.New("induction exploded")})
+	c := NewController(Config{
+		MinPages: 4, TrainPages: 5, HoldoutPages: 2,
+		Backoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+		MaxFailures: 3,
+	}, h.hooks(&buildErr))
+	defer c.Close()
+
+	feedPages(c, "e7", orig.Drifted(), 0, 7)
+	c.NotifyDrift("e7")
+	ev := h.waitEvent(t, EventCircuitOpen, 10*time.Second)
+	if ev.Attempt != 3 || !strings.Contains(ev.Err, "induction exploded") {
+		t.Fatalf("circuit-open event wrong: %+v", ev)
+	}
+	if st := c.EngineState("e7"); st != Degraded {
+		t.Fatalf("state after circuit open = %v, want DEGRADED", st)
+	}
+	// DEGRADED is pinned: more drift verdicts do not restart the storm.
+	c.NotifyDrift("e7")
+	time.Sleep(30 * time.Millisecond)
+	if st := c.EngineState("e7"); st != Degraded {
+		t.Fatalf("NotifyDrift restarted a degraded engine: %v", st)
+	}
+	if s := c.Stats(); s.Degraded != 1 || s.Failures < 3 {
+		t.Fatalf("stats after circuit open: %+v", c.Stats())
+	}
+	// A manual trigger resets the circuit; with the build fixed it heals.
+	buildErr.Store(errBox{})
+	st, err := c.Trigger("e7")
+	if err != nil || st != Running {
+		t.Fatalf("Trigger = %v, %v", st, err)
+	}
+	h.waitEvent(t, EventSwap, 30*time.Second)
+	if st := c.EngineState("e7"); st != Idle {
+		t.Fatalf("state after manual heal = %v, want IDLE", st)
+	}
+	rep := c.Report()
+	if len(rep.Engines) != 1 || rep.Engines[0].Swaps != 1 || rep.Engines[0].State != Idle {
+		t.Fatalf("report after manual heal: %+v", rep.Engines)
+	}
+}
+
+func TestControllerInsufficientPagesBacksOff(t *testing.T) {
+	h := &testHooks{eventCh: make(chan Event, 64)}
+	c := NewController(Config{
+		MinPages: 5, Backoff: 5 * time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+		MaxFailures: 2,
+	}, h.hooks(nil))
+	defer c.Close()
+	c.ObservePage("thin", "<html><p>only one</p></html>", nil)
+	c.NotifyDrift("thin")
+	ev := h.waitEvent(t, EventFailure, 5*time.Second)
+	if !strings.Contains(ev.Err, "not enough sampled pages") {
+		t.Fatalf("failure err = %q", ev.Err)
+	}
+	h.waitEvent(t, EventCircuitOpen, 5*time.Second)
+}
+
+func TestControllerCloseCancelsBackoffAndJobs(t *testing.T) {
+	h := &testHooks{eventCh: make(chan Event, 64)}
+	c := NewController(Config{
+		MinPages: 5, Backoff: time.Hour, MaxBackoff: time.Hour, MaxFailures: 100,
+	}, h.hooks(nil))
+	c.ObservePage("x", "<p>1</p>", nil)
+	c.NotifyDrift("x")
+	h.waitEvent(t, EventFailure, 5*time.Second)
+	done := make(chan struct{})
+	go func() { c.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not cancel an hour-long backoff")
+	}
+	// Post-close calls are inert.
+	c.ObservePage("x", "<p>2</p>", nil)
+	c.NotifyDrift("x")
+	if _, err := c.Trigger("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Trigger after Close = %v, want ErrClosed", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestControllerNilSafe(t *testing.T) {
+	var c *Controller
+	c.ObservePage("e", "<p>x</p>", nil)
+	c.NotifyDrift("e")
+	c.Close()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", s)
+	}
+	if r := c.Report(); len(r.Engines) != 0 {
+		t.Fatalf("nil Report = %+v", r)
+	}
+	if st := c.EngineState("e"); st != Idle {
+		t.Fatalf("nil EngineState = %v", st)
+	}
+	if _, err := c.Trigger("e"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("nil Trigger err = %v", err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{Idle: "IDLE", Running: "RUNNING", Backoff: "BACKOFF", Degraded: "DEGRADED", State(99): "UNKNOWN"} {
+		if st.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+	b, err := Running.MarshalJSON()
+	if err != nil || string(b) != `"RUNNING"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+}

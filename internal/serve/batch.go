@@ -300,6 +300,13 @@ func (r *Registry) handleExtractBatch(w http.ResponseWriter, req *http.Request) 
 	}
 
 	writeBatchResponse(w, results)
+	// Reservoir feed, after the response is out (exactly as /extract):
+	// each successfully extracted unique page is a relearn sample.
+	for _, j := range jobs {
+		if j.status == http.StatusOK {
+			r.feedRelearn(j.engine, j.html, j.query)
+		}
+	}
 }
 
 // writeBatchResponse assembles the batch response by hand.  Each OK item's

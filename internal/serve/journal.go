@@ -97,8 +97,11 @@ type JournalEvent struct {
 	// Time is the request completion time, RFC3339 with nanoseconds, UTC.
 	Time      string `json:"time"`
 	RequestID string `json:"request_id"`
-	Engine    string `json:"engine"`
-	Status    int    `json:"status"`
+	// Kind distinguishes lifecycle events (relearn_job, relearn_swap, ...)
+	// from per-request extraction lines (empty Kind, the default).
+	Kind   string `json:"kind,omitempty"`
+	Engine string `json:"engine"`
+	Status int    `json:"status"`
 	// PageBytes and PageHash identify the exact input page: the hash is
 	// FNV-1a/64 of the body, enough to spot byte-identical resubmissions
 	// and to match a page against a captured corpus.

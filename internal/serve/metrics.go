@@ -15,6 +15,7 @@ import (
 	"mse/internal/obs"
 	"mse/internal/prune"
 	"mse/internal/quality"
+	"mse/internal/relearn"
 	"mse/internal/shard"
 	"mse/internal/wrapper"
 )
@@ -42,6 +43,18 @@ type Metrics struct {
 	// Batch serving: batch requests and the pages they carried.
 	batches    *obs.Counter
 	batchPages *obs.Counter
+	// Self-healing lifecycle counters (§14 of DESIGN.md): relearn jobs
+	// started, failed attempts, candidates rejected by the canary,
+	// completed hot swaps, and circuit-breaker openings.
+	relearnJobs          *obs.Counter
+	relearnFailures      *obs.Counter
+	relearnCanaryRejects *obs.Counter
+	relearnSwaps         *obs.Counter
+	relearnCircuitOpen   *obs.Counter
+	// Reservoir occupancy, refreshed from the controller on every /metrics
+	// scrape (gauges, not counters: the reservoir drains and refills).
+	relearnReservoirPages *obs.Gauge
+	relearnReservoirBytes *obs.Gauge
 	// extractInFlight counts requests holding an extraction slot (distinct
 	// from inFlight, which counts every HTTP request including /metrics
 	// scrapes); queueWait is how long admitted /extract requests waited
@@ -78,20 +91,27 @@ func (em *engineMetrics) applyQuality(a quality.Assessment) {
 func NewMetrics() *Metrics {
 	reg := obs.NewRegistry()
 	return &Metrics{
-		start:           time.Now(),
-		reg:             reg,
-		inFlight:        reg.Gauge("http.in_flight"),
-		requests:        reg.Counter("http.requests_total"),
-		errors:          reg.Counter("http.errors_total"),
-		panics:          reg.Counter("http.panics_total"),
-		shed:            reg.Counter("http.shed_total"),
-		canceled:        reg.Counter("http.canceled_total"),
-		misrouted:       reg.Counter("http.misrouted_total"),
-		batches:         reg.Counter("batch.requests_total"),
-		batchPages:      reg.Counter("batch.pages_total"),
-		extractInFlight: reg.Gauge("extract.in_flight"),
-		queueWait:       reg.Histogram("extract.queue_wait", nil),
-		engines:         map[string]*engineMetrics{},
+		start:                 time.Now(),
+		reg:                   reg,
+		inFlight:              reg.Gauge("http.in_flight"),
+		requests:              reg.Counter("http.requests_total"),
+		errors:                reg.Counter("http.errors_total"),
+		panics:                reg.Counter("http.panics_total"),
+		shed:                  reg.Counter("http.shed_total"),
+		canceled:              reg.Counter("http.canceled_total"),
+		misrouted:             reg.Counter("http.misrouted_total"),
+		batches:               reg.Counter("batch.requests_total"),
+		batchPages:            reg.Counter("batch.pages_total"),
+		relearnJobs:           reg.Counter("relearn.jobs_total"),
+		relearnFailures:       reg.Counter("relearn.failures_total"),
+		relearnCanaryRejects:  reg.Counter("relearn.canary_rejects_total"),
+		relearnSwaps:          reg.Counter("relearn.swaps_total"),
+		relearnCircuitOpen:    reg.Counter("relearn.circuit_open_total"),
+		relearnReservoirPages: reg.Gauge("relearn.reservoir_pages"),
+		relearnReservoirBytes: reg.Gauge("relearn.reservoir_bytes"),
+		extractInFlight:       reg.Gauge("extract.in_flight"),
+		queueWait:             reg.Histogram("extract.queue_wait", nil),
+		engines:               map[string]*engineMetrics{},
 	}
 }
 
@@ -135,6 +155,13 @@ type metricsResponse struct {
 	TreeCache     *treeCacheJSON `json:"tree_cache,omitempty"`
 	Pools         *poolsJSON     `json:"pools,omitempty"`
 	Excache       *excacheJSON   `json:"excache,omitempty"`
+	Relearn       *relearnJSON   `json:"relearn,omitempty"`
+}
+
+// relearnJSON reports the self-healing lifecycle.
+type relearnJSON struct {
+	Enabled bool `json:"enabled"`
+	relearn.Stats
 }
 
 // excacheJSON reports the content-addressed extraction result cache.
@@ -195,14 +222,18 @@ func treeCacheSnapshot() *treeCacheJSON {
 }
 
 // snapshot returns the /metrics payload.  c is the registry's extraction
-// cache (nil when disabled).
-func (m *Metrics) snapshot(c *excache.Cache) metricsResponse {
+// cache, rc the relearn controller (each nil when disabled).
+func (m *Metrics) snapshot(c *excache.Cache, rc *relearn.Controller) metricsResponse {
+	rs := rc.Stats() // nil-safe: zero stats when disabled
+	m.relearnReservoirPages.Set(rs.ReservoirPages)
+	m.relearnReservoirBytes.Set(rs.ReservoirBytes)
 	return metricsResponse{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Metrics:       m.reg.Snapshot(),
 		TreeCache:     treeCacheSnapshot(),
 		Pools:         poolsSnapshot(),
 		Excache:       excacheSnapshot(c),
+		Relearn:       &relearnJSON{Enabled: rc != nil, Stats: rs},
 	}
 }
 
@@ -238,6 +269,8 @@ type StatusInfo struct {
 	ShardIndex  int
 	ShardCount  int
 	Sharded     bool
+	Relearn     relearn.Stats
+	RelearnOn   bool
 }
 
 // writeStatusz renders the human-readable status page: uptime, in-flight
@@ -270,6 +303,10 @@ func (m *Metrics) writeStatusz(w io.Writer, info StatusInfo) {
 		info.CacheOn, cs.Entries, cs.Bytes, cs.MaxBytes, cs.Hits, cs.Misses,
 		cs.Collapsed, cs.Evictions, cs.Invalidated, 100*cs.HitRate())
 	fmt.Fprintf(w, "batch: requests=%d pages=%d\n", m.batches.Value(), m.batchPages.Value())
+	rs := info.Relearn
+	fmt.Fprintf(w, "relearn: enabled=%v jobs=%d failures=%d canary-rejects=%d swaps=%d degraded=%d active=%d reservoir=%dp/%dB\n",
+		info.RelearnOn, rs.Jobs, rs.Failures, rs.CanaryRejects, rs.Swaps,
+		rs.Degraded, rs.Active, rs.ReservoirPages, rs.ReservoirBytes)
 	tc := treeCacheSnapshot()
 	fmt.Fprintf(w, "tree-cache: enabled=%v entries=%d lookups=%d identical=%d hits=%d misses=%d early-exits=%d evictions=%d hit-rate=%.1f%%\n",
 		tc.Enabled, tc.Entries, tc.Lookups, tc.Identical, tc.Hits, tc.Misses,

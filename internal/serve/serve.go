@@ -11,6 +11,8 @@
 //	GET  /statusz                 human-readable uptime / per-engine table
 //	                              with drift verdicts
 //	GET  /driftz                  machine-readable per-engine drift report
+//	GET  /relearnz                machine-readable self-healing report
+//	POST /relearn/{engine}        manually trigger a relearn episode
 //	POST /extract?engine=NAME&q=term+term
 //	                              body: the result page HTML;
 //	                              response: sections with annotated records
@@ -57,6 +59,7 @@ import (
 	"mse/internal/excache"
 	"mse/internal/obs"
 	"mse/internal/quality"
+	"mse/internal/relearn"
 	"mse/internal/shard"
 )
 
@@ -92,6 +95,14 @@ type Registry struct {
 	// of a larger fleet; nil means the registry owns every engine.
 	ring       *shard.Ring
 	shardIndex int
+	// relearn is the self-healing lifecycle controller; nil (the default)
+	// means drift verdicts are reported but not acted on.
+	relearn *relearn.Controller
+	// snapPath, when set, is where every wrapper swap persists the fleet
+	// (atomic write-then-rename, serialized by snapMu) so a restart cannot
+	// resurrect a wrapper a relearn or an operator already replaced.
+	snapPath string
+	snapMu   sync.Mutex
 }
 
 // NewRegistry returns an empty registry using the given pipeline options
@@ -117,6 +128,9 @@ func (r *Registry) Quality() *quality.Tracker { return r.quality }
 // Handler.
 func (r *Registry) SetQualityConfig(cfg quality.Config) {
 	r.quality = quality.NewTracker(cfg)
+	// The fresh tracker must keep driving the relearn controller (the hook
+	// lives on the tracker, which was just replaced).
+	r.wireQualityHook()
 }
 
 // SetJournal installs the wide-event request journal: one JSON line per
@@ -218,9 +232,23 @@ func (r *Registry) addGen(name string, data []byte, gen uint64) error {
 	r.wrappers[name] = &engineEntry{ew: &ew, raw: raw, gen: gen, swapped: time.Now()}
 	r.mu.Unlock()
 	if prev != nil {
+		// Generation bumped: the engine is serving a different wrapper than
+		// the one its drift baseline was learned against.  Reset the
+		// baseline so the new wrapper re-warms against its own normal —
+		// judging it by the old template's EWMA would flag a healthy swap
+		// as drift (or hide real drift behind a stale DRIFTED verdict).
+		// One in-flight old-wrapper extraction may still Observe after this
+		// reset; warm-up absorbs the stray page.
+		r.quality.Reset(name)
 		// Reclaim the orphaned generation's bytes eagerly; correctness does
 		// not depend on this (the generation is part of the cache key).
 		r.cache.Invalidate(name, gen)
+		// Persist the swap so a restart resumes with the new wrapper, not
+		// the one it replaced.  Best-effort: the swap itself has already
+		// happened, a full disk must not undo it.
+		if err := r.persistSnapshot(); err != nil && r.log != nil {
+			r.log.Warn("snapshot persist after swap failed", "engine", name, "error", err)
+		}
 	}
 	return nil
 }
@@ -298,7 +326,7 @@ func (r *Registry) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, r.Names())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, r.metrics.snapshot(r.cache))
+		writeJSON(w, http.StatusOK, r.metrics.snapshot(r.cache, r.relearn))
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -307,6 +335,8 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/driftz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.quality.Report())
 	})
+	mux.HandleFunc("/relearnz", r.handleRelearnz)
+	mux.HandleFunc("/relearn/", r.handleRelearnTrigger)
 	mux.HandleFunc("/extract", r.handleExtract)
 	mux.HandleFunc("/extract/batch", r.handleExtractBatch)
 	return r.instrument(r.recoverer(mux))
@@ -325,6 +355,8 @@ func (r *Registry) statusInfo() StatusInfo {
 		ShardIndex:  idx,
 		ShardCount:  total,
 		Sharded:     sharded,
+		Relearn:     r.relearn.Stats(),
+		RelearnOn:   r.relearn != nil,
 	}
 }
 
@@ -595,6 +627,10 @@ func (r *Registry) handleExtract(w http.ResponseWriter, req *http.Request) {
 		jev.StagesMs = stageTimings(root)
 	}
 	writeBody(w, http.StatusOK, out.entry.Body)
+	// Reservoir sampling happens strictly after the response bytes are out:
+	// the relearner inherits this request's one body copy (html slices into
+	// nothing pooled) at zero additional latency to the client.
+	r.feedRelearn(name, html, query)
 }
 
 // extractErrorStatus maps an extraction error to a status and message:

@@ -8,9 +8,12 @@ package serve
 // reset).
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -52,6 +55,51 @@ func (r *Registry) SaveSnapshot(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
 		return fmt.Errorf("serve: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// SetSnapshotPath arms automatic snapshot persistence: after every wrapper
+// swap (relearn-driven or operator-driven) the full fleet is rewritten to
+// path, so a restart resumes with the wrappers actually serving, not the
+// ones loaded at startup.  Empty path disables persistence (the default).
+// Call before Handler.
+func (r *Registry) SetSnapshotPath(path string) { r.snapPath = path }
+
+// persistSnapshot writes the fleet to the armed snapshot path atomically:
+// a temp file in the same directory, fsynced, then renamed over the
+// target, so a crash mid-write can never leave a torn snapshot for the
+// next start to choke on.  Concurrent swaps serialize on snapMu — last
+// writer wins with a complete document either way.  A no-op without an
+// armed path.
+func (r *Registry) persistSnapshot() error {
+	if r.snapPath == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := r.SaveSnapshot(&buf); err != nil {
+		return err
+	}
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(r.snapPath), ".snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), r.snapPath); err != nil {
+		return fmt.Errorf("serve: installing snapshot: %w", err)
 	}
 	return nil
 }
