@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race drift relearn smoke check stress bench benchcmp benchgate clean
+.PHONY: all build test vet race drift relearn smoke scenario check stress bench benchcmp benchgate clean
 
 all: build
 
@@ -50,7 +50,18 @@ relearn:
 smoke:
 	$(GO) test -count=1 -run 'TestServeSmoke' ./cmd/mse-serve
 
-check: build vet test race drift relearn smoke
+# scenario replays the committed drift-heal example scenario twice
+# against an in-process mse-serve with self-healing enabled and requires
+# byte-identical reports (the determinism contract), then builds the
+# real mse-serve and mse-loadgen binaries and replays the same scenario
+# over a socket: recall collapses at the scheduled template cutover, the
+# relearn hot-swap is observed, recall recovers above threshold, zero
+# non-2xx, exit 0.
+scenario:
+	$(GO) test -race -count=1 -run 'TestScenario' ./internal/scenario
+	$(GO) test -count=1 -run 'TestLoadgenSmoke' ./cmd/mse-loadgen
+
+check: build vet test race drift relearn smoke scenario
 
 # stress storms the extraction service with hundreds of concurrent
 # deadline-bearing /extract requests under the race detector: admission

@@ -1,0 +1,169 @@
+// Command mse-loadgen replays a declarative scenario against a live
+// mse-serve, continuously scoring every extraction against synthetic
+// ground truth.
+//
+// Usage:
+//
+//	mse-loadgen -scenario FILE -write-wrappers DIR
+//	mse-loadgen -scenario FILE -target URL [-rate N] [-concurrency N]
+//	            [-duration D] [-window N] [-report PATH] [-events PATH]
+//
+// A scenario (see internal/scenario) declares the engine population with
+// its difficulty features, the traffic mix, a drift schedule of template
+// cutovers over virtual time, and pass/fail thresholds.
+//
+// The two invocations are the offline and online halves of a run:
+// -write-wrappers trains one wrapper per engine from its pre-drift
+// template and writes <engine>.json files for mse-serve to load;
+// -target then replays the scenario's traffic, polls the server's drift
+// and relearn reports at the phase barriers, and writes a final JSON
+// report with per-engine recall/precision/empty-rate time series.
+//
+// The run is deterministic given the scenario seed: at -concurrency 1
+// two runs against identically configured servers produce identical
+// event sequences, schedule digests and scores.  Exit status: 0 when
+// every threshold holds, 1 on a threshold breach or failed run, 2 on
+// usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"mse/internal/core"
+	"mse/internal/scenario"
+)
+
+func main() {
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (required)")
+	writeWrappers := flag.String("write-wrappers", "",
+		"train wrappers from the scenario's pre-drift templates, write <engine>.json files to this directory, and exit")
+	target := flag.String("target", "", "mse-serve base URL, e.g. http://localhost:8080")
+	rate := flag.Float64("rate", 0, "request rate cap per second (0 = unthrottled)")
+	concurrency := flag.Int("concurrency", 1,
+		"in-flight requests per wave (1 guarantees a reproducible run)")
+	duration := flag.Duration("duration", 0,
+		"wall-clock cap for the whole run; a truncated run fails (0 = no cap)")
+	window := flag.Int("window", 20, "score time-series window in pages per engine")
+	reportPath := flag.String("report", "", "write the final JSON report to this file (default stdout)")
+	eventsPath := flag.String("events", "", "write canonical event lines to this file")
+	flag.Parse()
+
+	if *scenarioPath == "" {
+		usageErr("missing -scenario")
+	}
+	for _, c := range []struct {
+		ok   bool
+		flag string
+		why  string
+	}{
+		{*rate >= 0, "-rate", "must be >= 0 (0 = unthrottled)"},
+		{*concurrency >= 1, "-concurrency", "must be >= 1"},
+		{*duration >= 0, "-duration", "must be >= 0 (0 = no cap)"},
+		{*window >= 1, "-window", "must be >= 1"},
+	} {
+		if !c.ok {
+			usageErr(fmt.Sprintf("invalid %s: %s", c.flag, c.why))
+		}
+	}
+
+	cfg, err := scenario.Load(*scenarioPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *writeWrappers != "" {
+		if err := trainAndWrite(cfg, *writeWrappers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *target == "" {
+		usageErr("missing -target (or -write-wrappers)")
+	}
+	opts := scenario.RunOpts{
+		Target:      *target,
+		Rate:        *rate,
+		Concurrency: *concurrency,
+		MaxDuration: *duration,
+		Window:      *window,
+	}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.Events = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, runErr := scenario.Run(ctx, cfg, opts)
+	if rep != nil {
+		if err := writeReport(rep, *reportPath); err != nil {
+			fatal(err)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "mse-loadgen: run failed: %v\n", runErr)
+		os.Exit(1)
+	}
+	if !rep.Passed() {
+		for _, b := range rep.Breaches {
+			fmt.Fprintf(os.Stderr, "mse-loadgen: threshold breach: %s\n", b)
+		}
+		os.Exit(1)
+	}
+}
+
+// trainAndWrite runs the offline half: wrapper induction from each
+// engine's pre-drift template.
+func trainAndWrite(cfg *scenario.Config, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	wrappers, err := scenario.TrainWrappers(cfg, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	for name, data := range wrappers {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mse-loadgen: wrote %d wrappers to %s\n", len(wrappers), dir)
+	return nil
+}
+
+func writeReport(rep *scenario.Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func usageErr(msg string) {
+	fmt.Fprintf(os.Stderr, "mse-loadgen: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mse-loadgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadgenSmoke builds the real mse-serve and mse-loadgen binaries and
+// runs the committed drift-heal example end to end over a real socket:
+// train wrappers with -write-wrappers, start mse-serve -relearn, replay
+// the scenario, and require exit 0 with a passing report whose series
+// carries the drop-and-recover curve.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs both binaries")
+	}
+	dir := t.TempDir()
+	scenarioPath := filepath.Join("..", "..", "examples", "scenarios", "drift-heal.json")
+
+	loadgen := filepath.Join(dir, "mse-loadgen")
+	if out, err := exec.Command("go", "build", "-o", loadgen, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build mse-loadgen: %v\n%s", err, out)
+	}
+	servebin := filepath.Join(dir, "mse-serve")
+	if out, err := exec.Command("go", "build", "-o", servebin, "../mse-serve").CombinedOutput(); err != nil {
+		t.Fatalf("go build mse-serve: %v\n%s", err, out)
+	}
+
+	// Usage errors must exit 2 before any work happens.
+	cmd := exec.Command(loadgen, "-scenario", scenarioPath, "-target", "http://x", "-concurrency", "0")
+	if out, err := cmd.CombinedOutput(); err == nil || cmd.ProcessState.ExitCode() != 2 {
+		t.Fatalf("-concurrency 0: exit %d, want 2\n%s", cmd.ProcessState.ExitCode(), out)
+	} else if !strings.Contains(string(out), "-concurrency") {
+		t.Fatalf("-concurrency 0: error does not name the flag:\n%s", out)
+	}
+
+	// Offline half: train wrappers from the scenario's pre-drift templates.
+	wrapperDir := filepath.Join(dir, "wrappers")
+	if out, err := exec.Command(loadgen,
+		"-scenario", scenarioPath, "-write-wrappers", wrapperDir).CombinedOutput(); err != nil {
+		t.Fatalf("write-wrappers: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(wrapperDir, "beta.json")); err != nil {
+		t.Fatalf("wrapper not written: %v", err)
+	}
+
+	// Online half: mse-serve with self-healing on fast test tunings.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	server := exec.Command(servebin,
+		"-addr", addr,
+		"-wrappers", wrapperDir,
+		"-quiet",
+		"-drift-window", "8",
+		"-relearn",
+		"-relearn-min-pages", "4",
+		"-relearn-train-pages", "5",
+		"-relearn-holdout-pages", "2",
+		"-relearn-backoff", "100ms",
+		"-drain", "5s",
+	)
+	serverLog, err := os.Create(filepath.Join(dir, "serve.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverLog.Close()
+	server.Stdout, server.Stderr = serverLog, serverLog
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+	}()
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	up := false
+	for i := 0; i < 100; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !up {
+		t.Fatalf("mse-serve did not come up on %s", addr)
+	}
+
+	reportPath := filepath.Join(dir, "report.json")
+	eventsPath := filepath.Join(dir, "events.log")
+	run := exec.Command(loadgen,
+		"-scenario", scenarioPath,
+		"-target", base,
+		"-report", reportPath,
+		"-events", eventsPath,
+		"-duration", "2m",
+	)
+	if out, err := run.CombinedOutput(); err != nil {
+		logs, _ := os.ReadFile(serverLog.Name())
+		t.Fatalf("loadgen run: %v\n%s\nserver log:\n%s", err, out, logs)
+	}
+
+	var rep struct {
+		Scenario string `json:"scenario"`
+		Digest   string `json:"digest"`
+		Non2xx   int    `json:"non_2xx"`
+		Breaches []string
+		Phases   []struct {
+			Name    string `json:"name"`
+			Outcome string `json:"outcome"`
+		} `json:"phases"`
+		Series []struct {
+			Phase        string  `json:"phase"`
+			RecordRecall float64 `json:"record_recall"`
+		} `json:"series"`
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report malformed: %v\n%s", err, data)
+	}
+	if rep.Scenario != "drift-heal" || len(rep.Digest) != 64 {
+		t.Fatalf("report header unexpected: %s", data)
+	}
+	if rep.Non2xx != 0 || len(rep.Breaches) != 0 {
+		t.Fatalf("non_2xx=%d breaches=%v, want clean run\n%s", rep.Non2xx, rep.Breaches, data)
+	}
+	outcomes := map[string]string{}
+	for _, p := range rep.Phases {
+		outcomes[p.Name] = p.Outcome
+	}
+	if outcomes["drift"] != "drift detected" || outcomes["heal"] != "swap observed" {
+		t.Fatalf("phase outcomes %v, want drift detected + swap observed", outcomes)
+	}
+	sawDrop, sawRecover := false, false
+	for _, tp := range rep.Series {
+		if tp.Phase == "drift" && tp.RecordRecall < 0.5 {
+			sawDrop = true
+		}
+		if tp.Phase == "recovered" && tp.RecordRecall >= 0.9 {
+			sawRecover = true
+		}
+	}
+	if !sawDrop || !sawRecover {
+		t.Fatalf("series missing drop (%v) or recovery (%v):\n%s", sawDrop, sawRecover, data)
+	}
+
+	// The event log carries one canonical line per request.
+	ev, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(ev), "\n"), "\n")
+	if len(lines) < 40 {
+		t.Fatalf("event log has %d lines, want one per request (>=40)", len(lines))
+	}
+}

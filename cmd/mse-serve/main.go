@@ -9,6 +9,7 @@
 //	          [-cache-bytes N] [-shard k/N]
 //	          [-snapshot PATH] [-snapshot-save PATH]
 //	          [-relearn] [-relearn-sample-bytes N] [-relearn-min-pages N]
+//	          [-relearn-train-pages N] [-relearn-holdout-pages N]
 //	          [-relearn-backoff D]
 //
 // Every *.json file in the wrappers directory is loaded as one engine
@@ -28,8 +29,9 @@
 // request pages are sampled into a bounded per-engine reservoir (byte
 // budget via -relearn-sample-bytes, content-address-deduped), a DRIFTED
 // verdict schedules a background relearn over at least -relearn-min-pages
-// sampled pages, the candidate wrapper must beat the incumbent on a
-// held-out canary slice, and only then is it hot-swapped — generation
+// sampled pages (induction over the newest -relearn-train-pages, canary
+// over -relearn-holdout-pages of them), the candidate wrapper must beat
+// the incumbent on a held-out canary slice, and only then is it hot-swapped — generation
 // bump, cache invalidation, drift-baseline reset and snapshot persistence
 // included.  Failed attempts retry with capped exponential backoff
 // (-relearn-backoff); repeated failure pins the engine DEGRADED until an
@@ -89,7 +91,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	parallelism := flag.Int("parallelism", 0, "pipeline worker count per extraction (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 0,
-		"max concurrent extractions before requests queue (0 = 2x GOMAXPROCS, negative = unlimited)")
+		"max concurrent extractions before requests queue (0 = 2x GOMAXPROCS, -1 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", time.Second,
 		"how long an /extract request may wait for a slot before being shed with 429")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -113,9 +115,41 @@ func main() {
 		"per-engine byte budget for the relearn page reservoir")
 	relearnMinPages := flag.Int("relearn-min-pages", 6,
 		"minimum sampled pages before a relearn attempt runs")
+	relearnTrainPages := flag.Int("relearn-train-pages", 0,
+		"newest sampled pages fed to relearn wrapper induction (0 = default); keep small so a fresh drift fills the window quickly")
+	relearnHoldoutPages := flag.Int("relearn-holdout-pages", 0,
+		"sampled pages held out of relearn training for canary validation (0 = default)")
 	relearnBackoff := flag.Duration("relearn-backoff", 5*time.Second,
 		"initial retry delay after a failed relearn attempt (doubles per failure, capped)")
 	flag.Parse()
+
+	// Fail fast on nonsense numeric flags.  Several downstream configs
+	// quietly "sanitize" out-of-range values to defaults, which turns a
+	// typo like -relearn-min-pages 0 into silently different behavior; a
+	// startup error is the honest response.
+	for _, c := range []struct {
+		ok   bool
+		flag string
+		why  string
+	}{
+		{*parallelism >= 0, "-parallelism", "must be >= 0 (0 = GOMAXPROCS)"},
+		{*maxInflight >= -1, "-max-inflight", "must be >= -1 (0 = 2x GOMAXPROCS, -1 = unlimited)"},
+		{*queueTimeout > 0, "-queue-timeout", "must be positive"},
+		{*drain > 0, "-drain", "must be positive"},
+		{*journalSample >= 1, "-journal-sample", "must be >= 1"},
+		{*driftWindow >= 0, "-drift-window", "must be >= 0 (0 = default)"},
+		{*cacheBytes >= 0, "-cache-bytes", "must be >= 0 (0 disables)"},
+		{*relearnSampleBytes > 0, "-relearn-sample-bytes", "must be positive"},
+		{*relearnMinPages >= 3, "-relearn-min-pages", "must be >= 3 (2 to train + 1 to hold out)"},
+		{*relearnTrainPages == 0 || *relearnTrainPages >= 2, "-relearn-train-pages", "must be >= 2 (0 = default); induction needs two pages"},
+		{*relearnHoldoutPages >= 0, "-relearn-holdout-pages", "must be >= 0 (0 = default)"},
+		{*relearnBackoff > 0, "-relearn-backoff", "must be positive"},
+	} {
+		if !c.ok {
+			fmt.Fprintf(os.Stderr, "mse-serve: invalid %s: %s\n", c.flag, c.why)
+			os.Exit(2)
+		}
+	}
 
 	var handler slog.Handler
 	switch *logFormat {
@@ -178,6 +212,12 @@ func main() {
 		cfg := relearn.DefaultConfig()
 		cfg.SampleBytes = *relearnSampleBytes
 		cfg.MinPages = *relearnMinPages
+		if *relearnTrainPages > 0 {
+			cfg.TrainPages = *relearnTrainPages
+		}
+		if *relearnHoldoutPages > 0 {
+			cfg.HoldoutPages = *relearnHoldoutPages
+		}
 		cfg.Backoff = *relearnBackoff
 		ctrl := reg.EnableRelearn(cfg)
 		// Jobs cancel cooperatively on shutdown, after the server drains.

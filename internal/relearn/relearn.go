@@ -69,6 +69,12 @@ type Config struct {
 	// builds so a relearn cannot saturate the CPUs the serving path needs
 	// (0 means 1, the background-friendly default).
 	BuildParallelism int `json:"build_parallelism"`
+	// JitterSeed seeds the controller's private backoff-jitter generator.
+	// 0 (the default) draws a process-random seed, which is what a fleet
+	// wants — per-process jitter streams decorrelate retry storms.  Tests
+	// and reproducible harnesses set it to make backoff delays a pure
+	// function of the failure sequence.
+	JitterSeed int64 `json:"jitter_seed,omitempty"`
 }
 
 // DefaultConfig returns the serving defaults.
@@ -227,6 +233,15 @@ type Controller struct {
 	mu      sync.Mutex
 	engines map[string]*engineState
 	closed  bool
+
+	// rng is the controller's private jitter source.  Sharing the global
+	// math/rand stream would make backoff delays depend on every other
+	// rand consumer in the process — untestable and irreproducible; a
+	// seeded per-controller generator keeps them a function of the
+	// controller's own draw sequence.  Guarded by rngMu: backoffs fire
+	// from per-engine job goroutines concurrently.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // engineState is one engine's reservoir plus job bookkeeping.  The
@@ -251,12 +266,17 @@ type engineState struct {
 // fields take defaults).  hooks.Build and hooks.Swap must be set.
 func NewController(cfg Config, hooks Hooks) *Controller {
 	ctx, cancel := context.WithCancel(context.Background())
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = rand.Int63() // per-process stream; see Config.JitterSeed
+	}
 	return &Controller{
 		cfg:     cfg.sanitized(),
 		hooks:   hooks,
 		ctx:     ctx,
 		cancel:  cancel,
 		engines: map[string]*engineState{},
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -457,7 +477,10 @@ func (c *Controller) backoff(failures int) time.Duration {
 	if d > c.cfg.MaxBackoff {
 		d = c.cfg.MaxBackoff
 	}
-	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+	c.rngMu.Lock()
+	j := c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * (0.5 + j))
 }
 
 // attempt runs one relearn: snapshot the reservoir, split train/holdout,

@@ -1,0 +1,301 @@
+// Package scenario turns declarative JSON workload descriptions into
+// reproducible load-generation runs against a live mse-serve: an engine
+// population (schema seeds plus difficulty features), a traffic mix
+// (engine weights, batch ratio), and a drift schedule over virtual time
+// (per-engine template cutovers — redesigns and hidden-section reveals).
+// The runner replays the scenario's traffic, continuously scores every
+// extraction against synthetic ground truth, and emits a final report
+// with per-engine recall/precision/empty-rate time series.
+//
+// Determinism is the core contract: a scenario is a pure function of its
+// seed.  At concurrency 1 (the default) two runs against identically
+// configured servers produce identical event sequences, schedule digests
+// and scores; only wall-clock timing differs.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mse/internal/synth"
+)
+
+// Version is the config schema version this package reads.
+const Version = 1
+
+// Config is the parsed form of a scenario file.
+type Config struct {
+	// Version must equal Version; unknown versions are rejected so a
+	// future schema change cannot be silently misread.
+	Version int `json:"version"`
+	// Name labels the scenario in reports and event logs.
+	Name string `json:"name"`
+	// Seed is the master seed: it derives every engine schema and the
+	// traffic-mix random stream.
+	Seed int64 `json:"seed"`
+	// Engines is the population; at least one is required.
+	Engines []EngineConfig `json:"engines"`
+	// Traffic tunes the request mix.  Zero-value fields take defaults.
+	Traffic TrafficConfig `json:"traffic"`
+	// Phases is the workload timeline, executed in order.
+	Phases []PhaseConfig `json:"phases"`
+	// Thresholds gate the run outcome; a breach makes the run fail.
+	Thresholds Thresholds `json:"thresholds"`
+}
+
+// EngineConfig describes one synthetic engine in the population.
+type EngineConfig struct {
+	// Name is the engine's registry name (must be unique in the scenario).
+	Name string `json:"name"`
+	// ID is the synth engine ordinal: (seed, id, multi_section) determine
+	// the schema exactly as synth.NewEngine does.
+	ID int `json:"id"`
+	// MultiSection requests the multi-section testbed shape.
+	MultiSection bool `json:"multi_section"`
+	// Weight is the engine's share of the traffic mix (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Features are the deterministic difficulty knobs applied on top of
+	// the drawn schema (deep nesting, missing headings, CJK text, ...).
+	Features synth.Features `json:"features,omitempty"`
+	// Drift is the engine's template-cutover schedule over its own
+	// virtual time (page index), in ascending order.
+	Drift []DriftStep `json:"drift,omitempty"`
+}
+
+// Drift kinds.
+const (
+	// DriftRedesign rotates the template markup (synth Drifted).
+	DriftRedesign = "redesign"
+	// DriftReveal makes every hidden section permanent (synth Revealed).
+	DriftReveal = "reveal"
+)
+
+// DriftStep is one template cutover in an engine's schedule.
+type DriftStep struct {
+	// Kind is DriftRedesign or DriftReveal.
+	Kind string `json:"kind"`
+	// AtPage is the first page index served with the mutated template.
+	// Steps must be strictly increasing and past the training pages.
+	AtPage int `json:"at_page"`
+}
+
+// TrafficConfig tunes the request mix.
+type TrafficConfig struct {
+	// TrainPages is the number of leading pages per engine used to train
+	// its wrapper offline (default 5); replay starts at this page index so
+	// served pages never repeat training pages.
+	TrainPages int `json:"train_pages,omitempty"`
+	// BatchRatio is the fraction of requests sent to /extract/batch
+	// instead of /extract (default 0, all single).
+	BatchRatio float64 `json:"batch_ratio,omitempty"`
+	// BatchSize is the number of items per batch request (default 4).
+	BatchSize int `json:"batch_size,omitempty"`
+}
+
+// PhaseConfig is one step of the workload timeline.  Exactly one of the
+// kind fields must be set.
+type PhaseConfig struct {
+	// Name labels the phase in events and the report.
+	Name string `json:"name"`
+	// Pages serves this many weighted-traffic requests.
+	Pages int `json:"pages,omitempty"`
+	// UntilDrifted serves weighted traffic until the server's drift
+	// detector reports the named engine DRIFTED (or a relearn swap has
+	// already healed it), bounded by MaxPages.
+	UntilDrifted *UntilDrifted `json:"until_drifted,omitempty"`
+	// AwaitSwap sends no traffic: it polls /relearnz until the named
+	// engine's swap count exceeds its value at run start.  This is the
+	// determinism barrier that absorbs background-relearn timing.
+	AwaitSwap *AwaitSwap `json:"await_swap,omitempty"`
+}
+
+// UntilDrifted configures a drift-detection phase.
+type UntilDrifted struct {
+	// Engine is the engine whose verdict ends the phase.
+	Engine string `json:"engine"`
+	// MaxPages bounds the phase; reaching it without a DRIFTED verdict is
+	// a run failure.
+	MaxPages int `json:"max_pages"`
+}
+
+// AwaitSwap configures a zero-traffic heal barrier.
+type AwaitSwap struct {
+	// Engine is the engine whose wrapper swap ends the phase.
+	Engine string `json:"engine"`
+	// TimeoutS bounds the wait in seconds (default 60).
+	TimeoutS float64 `json:"timeout_s,omitempty"`
+}
+
+// Timeout returns the phase's wait bound.
+func (a *AwaitSwap) Timeout() time.Duration {
+	if a.TimeoutS <= 0 {
+		return 60 * time.Second
+	}
+	return time.Duration(a.TimeoutS * float64(time.Second))
+}
+
+// Thresholds gate the final report.  Zero values disable a gate except
+// MaxNon2xx, which is always enforced (0 means no failures tolerated).
+type Thresholds struct {
+	// MinFinalRecordRecall is the floor on every engine's record recall
+	// over the last phase that served traffic.
+	MinFinalRecordRecall float64 `json:"min_final_record_recall,omitempty"`
+	// MaxFinalEmptyRate caps every engine's empty-extraction rate over
+	// the last traffic phase.  Negative disables; 0 means none allowed.
+	MaxFinalEmptyRate float64 `json:"max_final_empty_rate,omitempty"`
+	// MaxNon2xx caps non-2xx responses across the whole run.
+	MaxNon2xx int `json:"max_non_2xx,omitempty"`
+}
+
+// Parse strictly decodes a scenario config: unknown fields and unsupported
+// versions are errors, and the result is validated.
+func Parse(data []byte) (*Config, error) {
+	// Peek at the version first so a future-versioned file fails with
+	// "unsupported version", not a confusing unknown-field error.
+	var v struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if v.Version != Version {
+		return nil, fmt.Errorf("scenario: unsupported version %d (want %d)", v.Version, Version)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	cfg := &Config{}
+	if err := dec.Decode(cfg); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// A second document in the same file is almost certainly a mistake.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing data after config document")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate checks cross-field invariants and fills defaults in place.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if len(c.Engines) == 0 {
+		return fmt.Errorf("scenario %q: no engines", c.Name)
+	}
+	if c.Traffic.TrainPages == 0 {
+		c.Traffic.TrainPages = 5
+	}
+	if c.Traffic.TrainPages < 2 {
+		return fmt.Errorf("scenario %q: train_pages %d < 2 (wrapper induction needs multiple samples)",
+			c.Name, c.Traffic.TrainPages)
+	}
+	if c.Traffic.BatchRatio < 0 || c.Traffic.BatchRatio > 1 {
+		return fmt.Errorf("scenario %q: batch_ratio %v outside [0,1]", c.Name, c.Traffic.BatchRatio)
+	}
+	if c.Traffic.BatchSize == 0 {
+		c.Traffic.BatchSize = 4
+	}
+	if c.Traffic.BatchSize < 1 {
+		return fmt.Errorf("scenario %q: batch_size %d < 1", c.Name, c.Traffic.BatchSize)
+	}
+	seen := map[string]bool{}
+	for i := range c.Engines {
+		e := &c.Engines[i]
+		if e.Name == "" {
+			return fmt.Errorf("scenario %q: engine %d missing name", c.Name, i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("scenario %q: duplicate engine %q", c.Name, e.Name)
+		}
+		seen[e.Name] = true
+		if e.ID < 0 {
+			return fmt.Errorf("scenario %q: engine %q: negative id", c.Name, e.Name)
+		}
+		if e.Weight < 0 {
+			return fmt.Errorf("scenario %q: engine %q: negative weight", c.Name, e.Name)
+		}
+		if e.Weight == 0 {
+			e.Weight = 1
+		}
+		if e.Features.DeepNesting < 0 {
+			return fmt.Errorf("scenario %q: engine %q: negative deep_nesting", c.Name, e.Name)
+		}
+		prev := 0
+		for j, d := range e.Drift {
+			if d.Kind != DriftRedesign && d.Kind != DriftReveal {
+				return fmt.Errorf("scenario %q: engine %q: drift %d: unknown kind %q",
+					c.Name, e.Name, j, d.Kind)
+			}
+			if d.AtPage < c.Traffic.TrainPages {
+				return fmt.Errorf("scenario %q: engine %q: drift %d: at_page %d inside training pages [0,%d)",
+					c.Name, e.Name, j, d.AtPage, c.Traffic.TrainPages)
+			}
+			if d.AtPage <= prev && j > 0 {
+				return fmt.Errorf("scenario %q: engine %q: drift steps not strictly increasing at %d",
+					c.Name, e.Name, d.AtPage)
+			}
+			prev = d.AtPage
+		}
+	}
+	if len(c.Phases) == 0 {
+		return fmt.Errorf("scenario %q: no phases", c.Name)
+	}
+	for i := range c.Phases {
+		p := &c.Phases[i]
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("phase-%d", i)
+		}
+		kinds := 0
+		if p.Pages > 0 {
+			kinds++
+		}
+		if p.Pages < 0 {
+			return fmt.Errorf("scenario %q: phase %q: negative pages", c.Name, p.Name)
+		}
+		if p.UntilDrifted != nil {
+			kinds++
+			if !seen[p.UntilDrifted.Engine] {
+				return fmt.Errorf("scenario %q: phase %q: until_drifted references unknown engine %q",
+					c.Name, p.Name, p.UntilDrifted.Engine)
+			}
+			if p.UntilDrifted.MaxPages < 1 {
+				return fmt.Errorf("scenario %q: phase %q: until_drifted needs max_pages >= 1", c.Name, p.Name)
+			}
+		}
+		if p.AwaitSwap != nil {
+			kinds++
+			if !seen[p.AwaitSwap.Engine] {
+				return fmt.Errorf("scenario %q: phase %q: await_swap references unknown engine %q",
+					c.Name, p.Name, p.AwaitSwap.Engine)
+			}
+		}
+		if kinds != 1 {
+			return fmt.Errorf("scenario %q: phase %q: exactly one of pages/until_drifted/await_swap required",
+				c.Name, p.Name)
+		}
+	}
+	if c.Thresholds.MinFinalRecordRecall < 0 || c.Thresholds.MinFinalRecordRecall > 1 {
+		return fmt.Errorf("scenario %q: min_final_record_recall %v outside [0,1]",
+			c.Name, c.Thresholds.MinFinalRecordRecall)
+	}
+	if c.Thresholds.MaxNon2xx < 0 {
+		return fmt.Errorf("scenario %q: negative max_non_2xx", c.Name)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package scenario_test
+
+// End-to-end acceptance for the scenario engine: replay the committed
+// drift-heal example against an in-process mse-serve registry with
+// self-healing enabled, twice, and require the two runs to agree on every
+// deterministic byte of the outcome — event digest, scores, series —
+// while demonstrating the full story: recall collapses at the scheduled
+// template cutover, the server detects drift, relearns and hot-swaps, and
+// recall recovers above threshold with zero failed requests.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mse/internal/core"
+	"mse/internal/quality"
+	"mse/internal/relearn"
+	"mse/internal/scenario"
+	"mse/internal/serve"
+)
+
+const examplePath = "../../examples/scenarios/drift-heal.json"
+
+// startServer brings up a fresh in-process registry configured like
+// `mse-serve -relearn` with fast test tunings, loaded with the given
+// wrappers.
+func startServer(t *testing.T, wrappers map[string][]byte) (*httptest.Server, func()) {
+	t.Helper()
+	reg := serve.NewRegistry(core.DefaultOptions())
+	reg.SetQualityConfig(quality.Config{WarmupPages: 12, Window: 8})
+	ctrl := reg.EnableRelearn(relearn.Config{
+		SampleBytes:  4 << 20,
+		MaxPages:     24,
+		MinPages:     4,
+		TrainPages:   5,
+		HoldoutPages: 2,
+		Backoff:      20 * time.Millisecond,
+		MaxBackoff:   50 * time.Millisecond,
+		MaxFailures:  10,
+		JitterSeed:   1,
+	})
+	for name, data := range wrappers {
+		if err := reg.Add(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(reg.Handler())
+	return srv, func() {
+		srv.Close()
+		ctrl.Close()
+	}
+}
+
+func runOnce(t *testing.T, cfg *scenario.Config, wrappers map[string][]byte) *scenario.Report {
+	t.Helper()
+	srv, stop := startServer(t, wrappers)
+	defer stop()
+	rep, err := scenario.Run(context.Background(), cfg, scenario.RunOpts{
+		Target: srv.URL,
+		Client: srv.Client(),
+		Window: 10,
+	})
+	if err != nil {
+		if rep != nil {
+			dump, _ := json.MarshalIndent(rep, "", "  ")
+			t.Logf("report of failed run:\n%s", dump)
+		}
+		t.Fatalf("run: %v", err)
+	}
+	return rep
+}
+
+func TestScenarioDriftHealDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full drift/heal replay")
+	}
+	cfg, err := scenario.Load(examplePath)
+	if err != nil {
+		t.Fatalf("loading committed example: %v", err)
+	}
+	// Train once; both runs load byte-identical wrappers, exactly like two
+	// mse-serve processes loading the same wrapper directory.
+	wrappers, err := scenario.TrainWrappers(cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep1 := runOnce(t, cfg, wrappers)
+	rep2 := runOnce(t, cfg, wrappers)
+
+	// Determinism: identical digests, and identical reports once the
+	// wall-clock-only Timing field is masked.
+	if rep1.Digest != rep2.Digest {
+		t.Errorf("digests differ across identical runs:\n  %s\n  %s", rep1.Digest, rep2.Digest)
+	}
+	rep1.Timing, rep2.Timing = scenario.Timing{}, scenario.Timing{}
+	d1, _ := json.Marshal(rep1)
+	d2, _ := json.Marshal(rep2)
+	if string(d1) != string(d2) {
+		t.Errorf("reports differ across identical runs:\n%s\nvs\n%s", d1, d2)
+	}
+
+	// The run passed its thresholds with zero failed requests.
+	if rep1.Non2xx != 0 {
+		t.Errorf("non-2xx responses = %d, want 0", rep1.Non2xx)
+	}
+	if !rep1.Passed() {
+		t.Errorf("threshold breaches: %v", rep1.Breaches)
+	}
+
+	// Phase story: warm completed, drift was detected, the swap was
+	// observed, recovery completed.
+	if len(rep1.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(rep1.Phases))
+	}
+	if rep1.Phases[0].Outcome != "completed" {
+		t.Errorf("warm outcome = %q", rep1.Phases[0].Outcome)
+	}
+	if o := rep1.Phases[1].Outcome; o != "drift detected" {
+		t.Errorf("drift outcome = %q", o)
+	}
+	if rep1.Phases[2].Outcome != "swap observed" {
+		t.Errorf("heal outcome = %q", rep1.Phases[2].Outcome)
+	}
+
+	// Recall story: perfect during warm, collapsed during the drift
+	// phase, recovered above the threshold afterwards.
+	warm := phaseScore(t, rep1, "warm", "beta")
+	if warm.RecordRecall < 0.99 {
+		t.Errorf("warm record recall = %v, want ~1", warm.RecordRecall)
+	}
+	drift := phaseScore(t, rep1, "drift", "beta")
+	if drift.RecordRecall > 0.5 {
+		t.Errorf("drift record recall = %v, want a collapse below 0.5", drift.RecordRecall)
+	}
+	if drift.Empty == 0 {
+		t.Errorf("drift phase produced no empty extractions (stale wrapper should extract nothing)")
+	}
+	rec := phaseScore(t, rep1, "recovered", "beta")
+	if rec.RecordRecall < cfg.Thresholds.MinFinalRecordRecall {
+		t.Errorf("recovered record recall = %v, want >= %v",
+			rec.RecordRecall, cfg.Thresholds.MinFinalRecordRecall)
+	}
+	if rec.EmptyRate != 0 {
+		t.Errorf("recovered empty rate = %v, want 0", rec.EmptyRate)
+	}
+
+	// The time series carries the drop-and-recover curve.
+	sawDrop, sawRecover := false, false
+	for _, tp := range rep1.Series {
+		if tp.Phase == "drift" && tp.RecordRecall < 0.5 {
+			sawDrop = true
+		}
+		if tp.Phase == "recovered" && tp.RecordRecall >= cfg.Thresholds.MinFinalRecordRecall {
+			sawRecover = true
+		}
+	}
+	if !sawDrop || !sawRecover {
+		t.Errorf("series missing drop (%v) or recovery (%v)", sawDrop, sawRecover)
+	}
+}
+
+func phaseScore(t *testing.T, rep *scenario.Report, phase, engine string) scenario.EngineScore {
+	t.Helper()
+	for _, pr := range rep.Phases {
+		if pr.Name != phase {
+			continue
+		}
+		for _, es := range pr.Engines {
+			if es.Engine == engine {
+				return es
+			}
+		}
+	}
+	t.Fatalf("no score for engine %q in phase %q", engine, phase)
+	return scenario.EngineScore{}
+}
+
+// TestScenarioThresholdBreach: a scenario whose drift never heals (no
+// await_swap, no recovery traffic against a healed wrapper) must fail its
+// recall threshold — the loadgen's exit-nonzero contract.
+func TestScenarioThresholdBreach(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay")
+	}
+	cfg, err := scenario.Parse([]byte(`{
+	  "version": 1, "name": "breach", "seed": 21,
+	  "engines": [{"name": "beta", "id": 2, "multi_section": true,
+	    "drift": [{"kind": "redesign", "at_page": 10}]}],
+	  "phases": [{"name": "all", "pages": 20}],
+	  "thresholds": {"min_final_record_recall": 0.9}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrappers, err := scenario.TrainWrappers(cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No relearn controller: the server serves the stale wrapper forever.
+	reg := serve.NewRegistry(core.DefaultOptions())
+	for name, data := range wrappers {
+		if err := reg.Add(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	rep, err := scenario.Run(context.Background(), cfg, scenario.RunOpts{
+		Target: srv.URL,
+		Client: srv.Client(),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Passed() {
+		t.Fatalf("run with unhealed drift passed thresholds: %+v", rep.Final)
+	}
+}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mse/internal/core"
+	"mse/internal/synth"
+)
+
+// Population is the materialized engine fleet of a scenario: each entry
+// owns the scheduled (cutover-aware) page source and its ground truth.
+type Population struct {
+	Engines []*PopEngine
+	// weights[i] is the cumulative traffic weight through engine i; the
+	// runner draws a uniform variate against it to pick an engine.
+	weights []float64
+	total   float64
+}
+
+// PopEngine is one materialized engine.
+type PopEngine struct {
+	Name string
+	// Base is the phase-0 template the wrapper is trained against.
+	Base *synth.Engine
+	// Sched serves pages across every scheduled cutover.
+	Sched *synth.ScheduledEngine
+	// next is the engine's virtual-time page counter during replay.
+	next int
+}
+
+// Materialize builds the engine population from the validated config.
+// It is a pure function of the config: the same scenario always yields
+// the same fleet serving the same pages.
+func Materialize(cfg *Config) (*Population, error) {
+	pop := &Population{}
+	for i := range cfg.Engines {
+		ec := &cfg.Engines[i]
+		base := synth.NewEngineFeatured(cfg.Seed, ec.ID, ec.MultiSection, ec.Features)
+		base.Name = ec.Name
+		sched := synth.NewScheduledEngine(base)
+		cur := base
+		for j, d := range ec.Drift {
+			switch d.Kind {
+			case DriftRedesign:
+				cur = cur.Drifted()
+			case DriftReveal:
+				cur = cur.Revealed()
+			default:
+				return nil, fmt.Errorf("scenario: engine %q: drift %d: unknown kind %q", ec.Name, j, d.Kind)
+			}
+			if err := sched.Cutover(d.AtPage, cur); err != nil {
+				return nil, fmt.Errorf("scenario: engine %q: %w", ec.Name, err)
+			}
+		}
+		pop.Engines = append(pop.Engines, &PopEngine{
+			Name:  ec.Name,
+			Base:  base,
+			Sched: sched,
+			next:  cfg.Traffic.TrainPages,
+		})
+		pop.total += cfg.Engines[i].Weight
+		pop.weights = append(pop.weights, pop.total)
+	}
+	return pop, nil
+}
+
+// pick returns the engine selected by a uniform variate u in [0,1).
+func (p *Population) pick(u float64) *PopEngine {
+	x := u * p.total
+	for i, w := range p.weights {
+		if x < w {
+			return p.Engines[i]
+		}
+	}
+	return p.Engines[len(p.Engines)-1]
+}
+
+// byName returns the materialized engine with the given name.
+func (p *Population) byName(name string) *PopEngine {
+	for _, e := range p.Engines {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// nextPage advances the engine's virtual time and returns the page it
+// serves at that instant (HTML, query, ground truth).
+func (e *PopEngine) nextPage() (int, *synth.GenPage) {
+	q := e.next
+	e.next++
+	return q, e.Sched.Page(q)
+}
+
+// TrainWrappers builds one wrapper per engine from its base (pre-drift)
+// template's leading pages — the offline induction step that precedes
+// serving — and returns the wrapper JSON keyed by engine name.
+func TrainWrappers(cfg *Config, opts core.Options) (map[string][]byte, error) {
+	pop, err := Materialize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(pop.Engines))
+	for _, e := range pop.Engines {
+		var samples []*core.SamplePage
+		for q := 0; q < cfg.Traffic.TrainPages; q++ {
+			gp := e.Base.Page(q)
+			samples = append(samples, &core.SamplePage{HTML: gp.HTML, Query: gp.Query})
+		}
+		ew, err := core.BuildWrapper(samples, opts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: training %q: %w", e.Name, err)
+		}
+		data, err := json.Marshal(ew)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: serializing wrapper %q: %w", e.Name, err)
+		}
+		out[e.Name] = data
+	}
+	return out, nil
+}

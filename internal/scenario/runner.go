@@ -1,0 +1,653 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"mse/internal/synth"
+)
+
+// RunOpts are the operational knobs of a replay — everything about *how*
+// the scenario's traffic reaches the server, none of it part of the
+// scenario's identity (the digest covers what was sent and what came
+// back, not how fast).
+type RunOpts struct {
+	// Target is the mse-serve base URL, e.g. "http://localhost:8080".
+	Target string
+	// Rate caps requests per second; 0 means unthrottled.
+	Rate float64
+	// Concurrency is the number of in-flight requests per wave (default
+	// 1).  The schedule digest is deterministic at any concurrency, but
+	// server-side drift-verdict timing — and therefore until_drifted
+	// phase lengths — is only guaranteed reproducible at concurrency 1.
+	Concurrency int
+	// MaxDuration truncates the run; a truncated run fails its report.
+	// 0 means no cap.
+	MaxDuration time.Duration
+	// Window is the score time-series window in pages per engine
+	// (default 20).
+	Window int
+	// Events, when non-nil, receives the canonical event lines the
+	// digest is computed over — diff two runs' event files to localize a
+	// determinism break.
+	Events io.Writer
+	// Client overrides the HTTP client (tests inject a Transport bound
+	// to an in-process handler).
+	Client *http.Client
+	// PollInterval is the await_swap /relearnz polling cadence (default
+	// 25ms).
+	PollInterval time.Duration
+}
+
+func (o *RunOpts) defaults() error {
+	if o.Target == "" {
+		return fmt.Errorf("scenario: missing target URL")
+	}
+	if _, err := url.Parse(o.Target); err != nil {
+		return fmt.Errorf("scenario: bad target URL: %w", err)
+	}
+	if o.Rate < 0 {
+		return fmt.Errorf("scenario: negative rate")
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 1
+	}
+	if o.Concurrency < 1 {
+		return fmt.Errorf("scenario: concurrency %d < 1", o.Concurrency)
+	}
+	if o.Window == 0 {
+		o.Window = 20
+	}
+	if o.Window < 1 {
+		return fmt.Errorf("scenario: window %d < 1", o.Window)
+	}
+	if o.MaxDuration < 0 {
+		return fmt.Errorf("scenario: negative max duration")
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 25 * time.Millisecond
+	}
+	return nil
+}
+
+// runner is the mutable state of one replay.
+type runner struct {
+	cfg   *Config
+	pop   *Population
+	opts  RunOpts
+	rng   *rand.Rand
+	ctx   context.Context
+	start time.Time
+
+	digest hash.Hash
+	report *Report
+
+	// windows accumulates the current time-series window per engine.
+	windows map[string]*window
+	// phaseScores accumulates per-engine scores for the current phase.
+	phaseScores map[string]*EngineScore
+	// swapBase is each engine's relearn swap count at run start.
+	swapBase map[string]int64
+
+	reqCount int
+	deadline time.Time
+}
+
+type window struct {
+	from  int
+	score EngineScore
+}
+
+// Run replays the scenario against a live server and returns the scored
+// report.  The error is non-nil only for operational failures (server
+// unreachable, malformed responses, truncation); threshold breaches are
+// reported via Report.Breaches with a nil error so the caller can print
+// the report before deciding the exit code.
+func Run(ctx context.Context, cfg *Config, opts RunOpts) (*Report, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	pop, err := Materialize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:  cfg,
+		pop:  pop,
+		opts: opts,
+		// The traffic stream is its own seeded generator, decoupled from
+		// the page-content seeds, so the mix is reproducible per scenario.
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x6c6f616467656e)), // "loadgen"
+		ctx:         ctx,
+		start:       time.Now(),
+		digest:      sha256.New(),
+		report:      &Report{Scenario: cfg.Name, Seed: cfg.Seed},
+		windows:     map[string]*window{},
+		phaseScores: map[string]*EngineScore{},
+		swapBase:    map[string]int64{},
+	}
+	if opts.MaxDuration > 0 {
+		r.deadline = r.start.Add(opts.MaxDuration)
+	}
+	if err := r.captureSwapBaseline(); err != nil {
+		return nil, err
+	}
+	runErr := r.runPhases()
+	r.finish()
+	if runErr != nil {
+		return r.report, runErr
+	}
+	return r.report, nil
+}
+
+// event appends one canonical line to the digest (and the event log).
+func (r *runner) event(format string, args ...any) {
+	line := fmt.Sprintf(format+"\n", args...)
+	r.digest.Write([]byte(line))
+	if r.opts.Events != nil {
+		io.WriteString(r.opts.Events, line)
+	}
+}
+
+func (r *runner) captureSwapBaseline() error {
+	rz, err := r.getRelearnz()
+	if err != nil {
+		return fmt.Errorf("scenario: reading /relearnz baseline: %w", err)
+	}
+	for _, e := range r.pop.Engines {
+		r.swapBase[e.Name] = rz[e.Name]
+	}
+	return nil
+}
+
+func (r *runner) runPhases() error {
+	for i := range r.cfg.Phases {
+		p := &r.cfg.Phases[i]
+		pr := PhaseReport{Name: p.Name}
+		var err error
+		switch {
+		case p.Pages > 0:
+			pr.Kind = "pages"
+			err = r.runPages(p, &pr)
+		case p.UntilDrifted != nil:
+			pr.Kind = "until_drifted"
+			err = r.runUntilDrifted(p, &pr)
+		case p.AwaitSwap != nil:
+			pr.Kind = "await_swap"
+			err = r.runAwaitSwap(p, &pr)
+		}
+		r.flushPhase(p.Name, &pr)
+		r.report.Phases = append(r.report.Phases, pr)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushPhase closes every open series window and folds the phase scores
+// into the report.
+func (r *runner) flushPhase(phase string, pr *PhaseReport) {
+	for _, e := range r.pop.Engines {
+		r.flushWindow(phase, e.Name)
+	}
+	pr.Engines = sortedScores(r.phaseScores)
+	r.phaseScores = map[string]*EngineScore{}
+	r.event("phase %s kind=%s requests=%d pages=%d", phase, pr.Kind, pr.Requests, pr.PagesServed)
+}
+
+func (r *runner) flushWindow(phase, engine string) {
+	w := r.windows[engine]
+	if w == nil || w.score.Pages == 0 {
+		return
+	}
+	e := r.pop.byName(engine)
+	w.score.Engine = engine
+	r.report.Series = append(r.report.Series, TimePoint{
+		Phase:       phase,
+		Engine:      engine,
+		FromPage:    w.from,
+		ToPage:      e.next,
+		EngineScore: w.score,
+	})
+	delete(r.windows, engine)
+}
+
+// throttle blocks until the rate limiter admits the next request; it
+// returns false when the run deadline has passed.
+func (r *runner) throttle() bool {
+	if !r.deadline.IsZero() && time.Now().After(r.deadline) {
+		return false
+	}
+	if r.opts.Rate > 0 {
+		next := r.start.Add(time.Duration(float64(r.reqCount) / r.opts.Rate * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.ctx.Done():
+				return false
+			}
+		}
+	}
+	return r.ctx.Err() == nil
+}
+
+// assignment is one pre-drawn page send.
+type assignment struct {
+	engine *PopEngine
+	page   int
+	gp     *synth.GenPage
+	batch  bool
+	// outcome, filled by the HTTP wave.
+	status int
+	body   []byte
+	err    error
+}
+
+// drawWave pre-draws up to n assignments — the deterministic half of a
+// wave, separated from the HTTP half so concurrency cannot perturb the
+// traffic stream.
+func (r *runner) drawWave(n int) []*assignment {
+	var wave []*assignment
+	for len(wave) < n {
+		if r.cfg.Traffic.BatchRatio > 0 && r.rng.Float64() < r.cfg.Traffic.BatchRatio {
+			// Batch items draw distinct engines: at most one page per
+			// engine per batch, so the server's per-engine quality
+			// observations stay ordered even though batch items extract
+			// in parallel server-side.
+			k := r.cfg.Traffic.BatchSize
+			if k > len(r.pop.Engines) {
+				k = len(r.pop.Engines)
+			}
+			picked := map[string]bool{}
+			var items []*assignment
+			for tries := 0; len(items) < k && tries < 64; tries++ {
+				e := r.pop.pick(r.rng.Float64())
+				if picked[e.Name] {
+					continue
+				}
+				picked[e.Name] = true
+				page, gp := e.nextPage()
+				items = append(items, &assignment{engine: e, page: page, gp: gp, batch: true})
+			}
+			wave = append(wave, items...)
+		} else {
+			e := r.pop.pick(r.rng.Float64())
+			page, gp := e.nextPage()
+			wave = append(wave, &assignment{engine: e, page: page, gp: gp})
+		}
+	}
+	return wave
+}
+
+// sendWave performs the HTTP half: batch-marked assignments drawn
+// together coalesce into batch requests, everything else goes to
+// /extract.  Requests within the wave run concurrently up to the
+// configured concurrency; results land on the assignments, which are
+// scored afterwards in draw order.
+func (r *runner) sendWave(wave []*assignment, pr *PhaseReport) error {
+	// Group consecutive batch assignments into one batch request each.
+	type call struct {
+		items []*assignment
+	}
+	var calls []call
+	for i := 0; i < len(wave); {
+		if wave[i].batch {
+			j := i
+			for j < len(wave) && wave[j].batch {
+				j++
+			}
+			calls = append(calls, call{items: wave[i:j]})
+			i = j
+		} else {
+			calls = append(calls, call{items: wave[i : i+1]})
+			i++
+		}
+	}
+	sem := make(chan struct{}, r.opts.Concurrency)
+	done := make(chan struct{})
+	for i := range calls {
+		c := calls[i]
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; done <- struct{}{} }()
+			if len(c.items) == 1 && !c.items[0].batch {
+				r.sendSingle(c.items[0])
+			} else {
+				r.sendBatch(c.items)
+			}
+		}()
+	}
+	for range calls {
+		<-done
+	}
+	pr.Requests += len(calls)
+	r.reqCount += len(calls)
+	// Score in draw order: the digest must not depend on completion order.
+	for _, a := range wave {
+		if err := r.scoreAssignment(a, pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) sendSingle(a *assignment) {
+	u := fmt.Sprintf("%s/extract?engine=%s&q=%s",
+		r.opts.Target, url.QueryEscape(a.engine.Name), url.QueryEscape(strings.Join(a.gp.Query, " ")))
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodPost, u, strings.NewReader(a.gp.HTML))
+	if err != nil {
+		a.err = err
+		return
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		a.err = err
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		a.err = err
+		return
+	}
+	a.status, a.body = resp.StatusCode, body
+}
+
+// batchWireItem / batchWireResult mirror the batch endpoint's public
+// JSON contract.
+type batchWireItem struct {
+	Engine string `json:"engine"`
+	Query  string `json:"q,omitempty"`
+	HTML   string `json:"html"`
+}
+
+type batchWireResult struct {
+	Status int             `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (r *runner) sendBatch(items []*assignment) {
+	wire := struct {
+		Items []batchWireItem `json:"items"`
+	}{}
+	for _, a := range items {
+		wire.Items = append(wire.Items, batchWireItem{
+			Engine: a.engine.Name,
+			Query:  strings.Join(a.gp.Query, " "),
+			HTML:   a.gp.HTML,
+		})
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		for _, a := range items {
+			a.err = err
+		}
+		return
+	}
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodPost,
+		r.opts.Target+"/extract/batch", bytes.NewReader(body))
+	if err == nil {
+		var resp *http.Response
+		resp, err = r.opts.Client.Do(req)
+		if err == nil {
+			defer resp.Body.Close()
+			var rb []byte
+			rb, err = io.ReadAll(resp.Body)
+			if err == nil {
+				if resp.StatusCode != http.StatusOK {
+					for _, a := range items {
+						a.status = resp.StatusCode
+					}
+					return
+				}
+				var out struct {
+					Results []batchWireResult `json:"results"`
+				}
+				if err = json.Unmarshal(rb, &out); err == nil {
+					if len(out.Results) != len(items) {
+						err = fmt.Errorf("batch returned %d results for %d items",
+							len(out.Results), len(items))
+					} else {
+						for i, a := range items {
+							a.status = out.Results[i].Status
+							a.body = out.Results[i].Result
+						}
+						return
+					}
+				}
+			}
+		}
+	}
+	for _, a := range items {
+		a.err = err
+	}
+}
+
+// scoreAssignment scores one completed send, updates windows and phase
+// scores, and emits the canonical event line.
+func (r *runner) scoreAssignment(a *assignment, pr *PhaseReport) error {
+	kind := "s"
+	if a.batch {
+		kind = "b"
+	}
+	if a.err != nil {
+		return fmt.Errorf("scenario: engine %s page %d: %w", a.engine.Name, a.page, a.err)
+	}
+	if a.status < 200 || a.status > 299 {
+		r.report.Non2xx++
+		r.event("p %s %s page=%d kind=%s status=%d", pr.Name, a.engine.Name, a.page, kind, a.status)
+		return nil
+	}
+	res, err := scorePage(a.gp.Truth, a.body)
+	if err != nil {
+		return fmt.Errorf("scenario: engine %s page %d: %w", a.engine.Name, a.page, err)
+	}
+	pr.PagesServed++
+	r.report.TotalPages++
+	w := r.windows[a.engine.Name]
+	if w == nil {
+		w = &window{from: a.page}
+		r.windows[a.engine.Name] = w
+	}
+	w.score.add(res)
+	ps := r.phaseScores[a.engine.Name]
+	if ps == nil {
+		ps = &EngineScore{}
+		r.phaseScores[a.engine.Name] = ps
+	}
+	ps.add(res)
+	r.event("p %s %s page=%d kind=%s status=%d sec=%d rec=%d sr=%.4f rr=%.4f empty=%t",
+		pr.Name, a.engine.Name, a.page, kind, a.status,
+		res.Sections, res.Records, res.Score.RecallTotal(),
+		ratio(res.Score.RecCorrect, res.TruthRecords), res.Empty)
+	if w.score.Pages >= r.opts.Window {
+		r.flushWindow(pr.Name, a.engine.Name)
+	}
+	return nil
+}
+
+func (r *runner) runPages(p *PhaseConfig, pr *PhaseReport) error {
+	served := 0
+	for served < p.Pages {
+		if !r.throttle() {
+			return fmt.Errorf("scenario: phase %q truncated (deadline or cancellation)", p.Name)
+		}
+		n := r.opts.Concurrency
+		if rem := p.Pages - served; n > rem {
+			n = rem
+		}
+		wave := r.drawWave(n)
+		if err := r.sendWave(wave, pr); err != nil {
+			return err
+		}
+		served += len(wave)
+	}
+	pr.Outcome = "completed"
+	return nil
+}
+
+// runUntilDrifted serves weighted traffic in strict lockstep (one
+// request at a time regardless of configured concurrency — the phase's
+// whole point is observing the server's verdict transition at a
+// deterministic page) until the target engine is DRIFTED, or until a
+// relearn swap proves the drift was already detected and healed.
+func (r *runner) runUntilDrifted(p *PhaseConfig, pr *PhaseReport) error {
+	target := p.UntilDrifted.Engine
+	for served := 0; served < p.UntilDrifted.MaxPages; served++ {
+		if !r.throttle() {
+			return fmt.Errorf("scenario: phase %q truncated (deadline or cancellation)", p.Name)
+		}
+		wave := r.drawWave(1)
+		if err := r.sendWave(wave, pr); err != nil {
+			return err
+		}
+		verdict, err := r.getVerdict(target)
+		if err != nil {
+			return err
+		}
+		if verdict == "DRIFTED" {
+			pr.Outcome = "drift detected"
+			return nil
+		}
+		// A very fast heal can reset the verdict before the poll sees it;
+		// a swap past the baseline is equally conclusive.  Report the same
+		// outcome either way: which of the two signals the poll happens to
+		// observe first is a wall-clock race, not a property of the run.
+		rz, err := r.getRelearnz()
+		if err != nil {
+			return err
+		}
+		if rz[target] > r.swapBase[target] {
+			pr.Outcome = "drift detected"
+			return nil
+		}
+	}
+	pr.Outcome = "max_pages exhausted"
+	return fmt.Errorf("scenario: phase %q: engine %s not DRIFTED after %d pages",
+		p.Name, target, p.UntilDrifted.MaxPages)
+}
+
+// runAwaitSwap sends no traffic: it polls /relearnz until the engine's
+// swap count rises past its run-start baseline.  This is the barrier
+// that absorbs background-relearn wall-clock nondeterminism — traffic
+// resumes only once the hot swap has happened, so the next phase always
+// runs against the healed wrapper.
+func (r *runner) runAwaitSwap(p *PhaseConfig, pr *PhaseReport) error {
+	target := p.AwaitSwap.Engine
+	deadline := time.Now().Add(p.AwaitSwap.Timeout())
+	for {
+		rz, err := r.getRelearnz()
+		if err != nil {
+			return err
+		}
+		if rz[target] > r.swapBase[target] {
+			pr.Outcome = "swap observed"
+			return nil
+		}
+		if time.Now().After(deadline) {
+			pr.Outcome = "timeout"
+			return fmt.Errorf("scenario: phase %q: no wrapper swap for %s within %s",
+				p.Name, target, p.AwaitSwap.Timeout())
+		}
+		select {
+		case <-time.After(r.opts.PollInterval):
+		case <-r.ctx.Done():
+			return r.ctx.Err()
+		}
+	}
+}
+
+// getVerdict reads the engine's drift verdict off /driftz.
+func (r *runner) getVerdict(engine string) (string, error) {
+	var out struct {
+		Engines []struct {
+			Engine  string `json:"engine"`
+			Verdict string `json:"verdict"`
+		} `json:"engines"`
+	}
+	if err := r.getJSON("/driftz", &out); err != nil {
+		return "", err
+	}
+	for _, e := range out.Engines {
+		if e.Engine == engine {
+			return e.Verdict, nil
+		}
+	}
+	return "", nil
+}
+
+// getRelearnz reads per-engine swap counts off /relearnz.
+func (r *runner) getRelearnz() (map[string]int64, error) {
+	var out struct {
+		Engines []struct {
+			Engine string `json:"engine"`
+			Swaps  int64  `json:"swaps"`
+		} `json:"engines"`
+	}
+	if err := r.getJSON("/relearnz", &out); err != nil {
+		return nil, err
+	}
+	m := make(map[string]int64, len(out.Engines))
+	for _, e := range out.Engines {
+		m[e.Engine] = e.Swaps
+	}
+	return m, nil
+}
+
+func (r *runner) getJSON(path string, v any) error {
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodGet, r.opts.Target+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("scenario: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scenario: GET %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scenario: GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// finish seals the report: digest, totals, final-phase scores,
+// thresholds, timing.
+func (r *runner) finish() {
+	r.report.Digest = hex.EncodeToString(r.digest.Sum(nil))
+	r.report.TotalRequests = r.reqCount
+	for i := len(r.report.Phases) - 1; i >= 0; i-- {
+		if r.report.Phases[i].PagesServed > 0 {
+			r.report.Final = r.report.Phases[i].Engines
+			break
+		}
+	}
+	r.report.applyThresholds(r.cfg.Thresholds)
+	elapsed := time.Since(r.start)
+	r.report.Timing = Timing{
+		StartedAt: r.start.UTC().Format(time.RFC3339),
+		DurationS: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		r.report.Timing.RequestsPS = float64(r.reqCount) / elapsed.Seconds()
+	}
+}

@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mse/internal/core"
+	"mse/internal/eval"
+	"mse/internal/synth"
+)
+
+// extractedRecord / extractedSection / extractedBody mirror the serve
+// wire form (the subset scoring needs).  The runner is a plain HTTP
+// client: it decodes the public JSON contract rather than importing the
+// server's internal types.
+type extractedRecord struct {
+	Lines []string `json:"lines"`
+	Links []string `json:"links"`
+}
+
+type extractedSection struct {
+	Heading string            `json:"heading"`
+	Records []extractedRecord `json:"records"`
+}
+
+type extractedBody struct {
+	Engine   string             `json:"engine"`
+	Sections []extractedSection `json:"sections"`
+}
+
+// parseSections decodes an /extract response body into the pipeline's
+// section shape so eval's marker-based scorer can judge it.
+func parseSections(body []byte) ([]*core.Section, error) {
+	var eb extractedBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		return nil, fmt.Errorf("scenario: decoding extract response: %w", err)
+	}
+	secs := make([]*core.Section, 0, len(eb.Sections))
+	for _, s := range eb.Sections {
+		cs := &core.Section{Heading: s.Heading}
+		for _, r := range s.Records {
+			cs.Records = append(cs.Records, core.Record{Lines: r.Lines, Links: r.Links})
+		}
+		secs = append(secs, cs)
+	}
+	return secs, nil
+}
+
+// PageResult is one scored extraction.
+type PageResult struct {
+	Sections int
+	Records  int
+	// TruthSections and TruthRecords are the ground-truth population the
+	// page carried.
+	TruthSections int
+	TruthRecords  int
+	Score         eval.PageScore
+	// Empty marks a page where the truth had sections but extraction
+	// produced none — the silent-failure signature of template drift.
+	Empty bool
+}
+
+// scorePage judges one served page against its ground truth.
+func scorePage(gt synth.GroundTruth, body []byte) (PageResult, error) {
+	secs, err := parseSections(body)
+	if err != nil {
+		return PageResult{}, err
+	}
+	records := 0
+	for _, s := range secs {
+		records += len(s.Records)
+	}
+	return PageResult{
+		Sections:      len(secs),
+		Records:       records,
+		TruthSections: len(gt.Sections),
+		TruthRecords:  gt.TotalRecords(),
+		Score:         eval.ScorePage(gt, secs),
+		Empty:         len(secs) == 0 && len(gt.Sections) > 0,
+	}, nil
+}
+
+// EngineScore aggregates scored pages for one engine over some span (a
+// window, a phase, or the whole run).
+type EngineScore struct {
+	Engine string `json:"engine"`
+	Pages  int    `json:"pages"`
+	Empty  int    `json:"empty"`
+	// Section-level totals (eval's Tables 1–2 semantics: partially
+	// correct sections count).
+	SectionRecall    float64 `json:"section_recall"`
+	SectionPrecision float64 `json:"section_precision"`
+	// Record-level totals against the FULL ground truth — unlike eval's
+	// Table 3 numbers, which judge records only inside correctly
+	// extracted sections, these drop to zero when extraction misses
+	// whole pages, which is exactly the drift signature a scenario
+	// watches for.
+	RecordRecall    float64 `json:"record_recall"`
+	RecordPrecision float64 `json:"record_precision"`
+	EmptyRate       float64 `json:"empty_rate"`
+
+	sum eval.PageScore
+	// truthRecords / extractedRecords are the full-population record
+	// denominators.
+	truthRecords     int
+	extractedRecords int
+}
+
+// add accumulates one page.
+func (s *EngineScore) add(r PageResult) {
+	s.Pages++
+	if r.Empty {
+		s.Empty++
+	}
+	s.sum.Add(r.Score)
+	s.truthRecords += r.TruthRecords
+	s.extractedRecords += r.Records
+	s.refresh()
+}
+
+// refresh recomputes the derived ratios from the accumulated counts.
+func (s *EngineScore) refresh() {
+	s.SectionRecall = s.sum.RecallTotal()
+	s.SectionPrecision = s.sum.PrecisionTotal()
+	s.RecordRecall = ratio(s.sum.RecCorrect, s.truthRecords)
+	s.RecordPrecision = ratio(s.sum.RecCorrect, s.extractedRecords)
+	if s.Pages > 0 {
+		s.EmptyRate = float64(s.Empty) / float64(s.Pages)
+	}
+}
+
+// ratio returns a/b, and 0 when b is 0 (no denominator, no credit).
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

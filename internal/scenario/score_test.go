@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"mse/internal/synth"
+)
+
+// bodyFromTruth serializes a ground truth as the /extract wire form — a
+// perfect extraction of the page.
+func bodyFromTruth(t *testing.T, gt synth.GroundTruth) []byte {
+	t.Helper()
+	eb := extractedBody{Engine: "e"}
+	for _, s := range gt.Sections {
+		es := extractedSection{Heading: s.Heading}
+		for _, r := range s.Records {
+			es.Records = append(es.Records, extractedRecord{Lines: r.Lines})
+		}
+		eb.Sections = append(eb.Sections, es)
+	}
+	data, err := json.Marshal(eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestScorePerfectExtraction: a body reproducing the ground truth exactly
+// scores recall 1, precision 1, empty rate 0.
+func TestScorePerfectExtraction(t *testing.T) {
+	e := synth.NewEngine(21, 2, true)
+	gp := e.Page(3)
+	res, err := scorePage(gp.Truth, bodyFromTruth(t, gp.Truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Empty {
+		t.Fatal("perfect extraction flagged empty")
+	}
+	if !approx(res.Score.RecallTotal(), 1) || !approx(res.Score.PrecisionTotal(), 1) {
+		t.Fatalf("section recall/precision = %v/%v, want 1/1",
+			res.Score.RecallTotal(), res.Score.PrecisionTotal())
+	}
+	if !approx(res.Score.RecordRecall(), 1) || !approx(res.Score.RecordPrecision(), 1) {
+		t.Fatalf("record recall/precision = %v/%v, want 1/1",
+			res.Score.RecordRecall(), res.Score.RecordPrecision())
+	}
+}
+
+// TestScoreDriftedZeroRecall: after a template cutover the stale wrapper
+// extracts nothing — the score must be a zero-recall empty page, the
+// signature the drift phase of a scenario looks for.
+func TestScoreDriftedZeroRecall(t *testing.T) {
+	e := synth.NewEngine(21, 2, true)
+	gp := e.Drifted().Page(40)
+	res, err := scorePage(gp.Truth, []byte(`{"engine":"e","sections":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Empty {
+		t.Fatal("empty extraction with non-empty truth not flagged empty")
+	}
+	if !approx(res.Score.RecallTotal(), 0) || !approx(res.Score.RecordRecall(), 0) {
+		t.Fatalf("recall = %v/%v, want 0/0", res.Score.RecallTotal(), res.Score.RecordRecall())
+	}
+}
+
+// TestScorePostRelearnRecovery: the windowed aggregate over a drift-then-
+// heal sequence shows exact recall, empty-rate and recovery numbers.
+func TestScorePostRelearnRecovery(t *testing.T) {
+	e := synth.NewEngine(21, 2, true)
+	drifted := e.Drifted()
+	var agg EngineScore
+	// 3 drifted pages extracted by the stale wrapper: nothing comes out.
+	for q := 40; q < 43; q++ {
+		gp := drifted.Page(q)
+		res, err := scorePage(gp.Truth, []byte(`{"engine":"e","sections":[]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.add(res)
+	}
+	// 3 post-relearn pages: the healed wrapper extracts perfectly.
+	for q := 43; q < 46; q++ {
+		gp := drifted.Page(q)
+		res, err := scorePage(gp.Truth, bodyFromTruth(t, gp.Truth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.add(res)
+	}
+	if agg.Pages != 6 || agg.Empty != 3 {
+		t.Fatalf("pages/empty = %d/%d, want 6/3", agg.Pages, agg.Empty)
+	}
+	if !approx(agg.EmptyRate, 0.5) {
+		t.Fatalf("empty rate = %v, want 0.5", agg.EmptyRate)
+	}
+	// Section recall is (recovered sections)/(all truth sections): compute
+	// the exact expectation from the truth counts.
+	truthSecs, truthRecs := 0, 0
+	recSecs, recRecs := 0, 0
+	for q := 40; q < 46; q++ {
+		gt := drifted.Page(q).Truth
+		truthSecs += len(gt.Sections)
+		truthRecs += gt.TotalRecords()
+		if q >= 43 {
+			recSecs += len(gt.Sections)
+			recRecs += gt.TotalRecords()
+		}
+	}
+	wantSR := float64(recSecs) / float64(truthSecs)
+	if !approx(agg.SectionRecall, wantSR) {
+		t.Fatalf("section recall = %v, want %v", agg.SectionRecall, wantSR)
+	}
+	wantRR := float64(recRecs) / float64(truthRecs)
+	if !approx(agg.RecordRecall, wantRR) {
+		t.Fatalf("record recall = %v, want %v", agg.RecordRecall, wantRR)
+	}
+	// Precision only judges what was extracted — everything extracted in
+	// the recovery half was correct.
+	if !approx(agg.RecordPrecision, 1) || !approx(agg.SectionPrecision, 1) {
+		t.Fatalf("precision = %v/%v, want 1/1", agg.SectionPrecision, agg.RecordPrecision)
+	}
+}
+
+// TestScorePartialSection: dropping one whole section from the extraction
+// moves recall by exactly that section's share.
+func TestScorePartialSection(t *testing.T) {
+	e := synth.NewEngine(3, 4, true)
+	var gp *synth.GenPage
+	for q := 0; q < 20; q++ {
+		p := e.Page(q)
+		if len(p.Truth.Sections) >= 2 {
+			gp = p
+			break
+		}
+	}
+	if gp == nil {
+		t.Skip("engine never produced a 2-section page")
+	}
+	full := gp.Truth
+	cut := synth.GroundTruth{Sections: full.Sections[:len(full.Sections)-1]}
+	res, err := scorePage(full, bodyFromTruth(t, cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(len(cut.Sections)) / float64(len(full.Sections))
+	if !approx(res.Score.RecallTotal(), want) {
+		t.Fatalf("section recall = %v, want %v", res.Score.RecallTotal(), want)
+	}
+	if !approx(res.Score.PrecisionTotal(), 1) {
+		t.Fatalf("precision = %v, want 1", res.Score.PrecisionTotal())
+	}
+	if res.Empty {
+		t.Fatal("non-empty extraction flagged empty")
+	}
+}
+
+func TestParseSectionsRejectsBadBody(t *testing.T) {
+	if _, err := parseSections([]byte(`not json`)); err == nil {
+		t.Fatal("malformed body accepted")
+	}
+}

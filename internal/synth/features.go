@@ -1,0 +1,97 @@
+package synth
+
+// Features are the config-drivable difficulty knobs of an engine schema.
+// The base generator draws difficulty stochastically per engine (matching
+// the paper's dataset statistics); a scenario that wants to *guarantee* a
+// pathology — every record non-sibling, no headings anywhere, CJK text —
+// applies Features on top of the drawn schema.  Application is a pure,
+// deterministic transformation: the same (seed, id, multi, Features)
+// always yields the same engine, so scenario replays stay reproducible.
+//
+// The JSON tags are the wire form scenario configs embed directly.
+type Features struct {
+	// NonSiblingRecords forces the paper's problematic DOM structure on
+	// every section: record tag structures are not siblings under one
+	// subtree (§6 names this as the main source of missing records).
+	NonSiblingRecords bool `json:"non_sibling_records,omitempty"`
+	// MissingHeadings strips every section's left boundary marker, so
+	// section boundaries must be recovered from structure alone.
+	MissingHeadings bool `json:"missing_headings,omitempty"`
+	// CJK draws titles, snippets and headings from the CJK pools: no
+	// latin word breaks, no casing, multi-byte runes throughout.
+	CJK bool `json:"cjk,omitempty"`
+	// DeepNesting wraps each section in this many extra <div> levels
+	// (capped at 8), deepening every tag tree the miner aligns.
+	DeepNesting int `json:"deep_nesting,omitempty"`
+	// FalseSBM plants a repeated constant string in every record of every
+	// section, faking a boundary marker (§5.2's filter_CSBMs adversary).
+	FalseSBM bool `json:"false_sbm,omitempty"`
+	// HiddenSections makes every secondary section fully query-dependent:
+	// it appears only for queries in its class, producing hidden sections
+	// and dangling instances (and the raw material for the "reveal" drift
+	// kind, where a hidden section starts appearing mid-run).
+	HiddenSections bool `json:"hidden_sections,omitempty"`
+}
+
+// Zero reports whether no feature is requested.
+func (f Features) Zero() bool { return f == Features{} }
+
+// maxDeepNesting bounds the extra wrapper levels a scenario can request;
+// beyond this the pages stop being search result pages and start being
+// parser stress tests (which the fuzz corpus already covers).
+const maxDeepNesting = 8
+
+// NewEngineFeatured derives an engine exactly like NewEngine and then
+// applies the requested difficulty features to its schema.  With a zero
+// Features it is NewEngine.
+func NewEngineFeatured(masterSeed int64, id int, multi bool, f Features) *Engine {
+	e := NewEngine(masterSeed, id, multi)
+	ApplyFeatures(e.Schema, f)
+	return e
+}
+
+// ApplyFeatures transforms a schema in place.  The transformation is
+// deterministic (no randomness): scenario materialization depends on it.
+func ApplyFeatures(ps *PageSchema, f Features) {
+	if f.Zero() {
+		return
+	}
+	if f.NonSiblingRecords || f.MissingHeadings || f.DeepNesting > 0 {
+		// Flat layouts force sibling rows, mandatory heading rows and one
+		// shared table; each of these features contradicts that.
+		ps.Flat = false
+	}
+	if f.CJK {
+		ps.CJK = true
+		for i, ss := range ps.Sections {
+			if ss.HasLBM {
+				ss.Heading = cjkSectionHeadings[(ss.Index+i)%len(cjkSectionHeadings)]
+			}
+		}
+	}
+	if f.DeepNesting > 0 {
+		ps.DeepNesting = f.DeepNesting
+		if ps.DeepNesting > maxDeepNesting {
+			ps.DeepNesting = maxDeepNesting
+		}
+	}
+	for i, ss := range ps.Sections {
+		if f.NonSiblingRecords {
+			ss.NonSiblingRecords = true
+		}
+		if f.MissingHeadings {
+			ss.HasLBM = false
+			ss.Heading = ""
+		}
+		if f.FalseSBM {
+			ss.FalseSBM = true
+			if ss.FalseSBMText == "" {
+				ss.FalseSBMText = falseSBMTexts[i%len(falseSBMTexts)]
+			}
+		}
+		if f.HiddenSections && i > 0 {
+			ss.QueryClass = (i * 2) % 7
+			ss.Appear = 1.0 // the class alone decides presence
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFeaturedDeterministic: NewEngineFeatured is a pure function of
+// (seed, id, multi, features) — the contract scenario replays lean on.
+func TestFeaturedDeterministic(t *testing.T) {
+	f := Features{NonSiblingRecords: true, CJK: true, DeepNesting: 3, HiddenSections: true}
+	a := NewEngineFeatured(42, 5, true, f)
+	b := NewEngineFeatured(42, 5, true, f)
+	for q := 0; q < 6; q++ {
+		if a.Page(q).HTML != b.Page(q).HTML {
+			t.Fatalf("page %d: two featured engines from same inputs disagree", q)
+		}
+	}
+}
+
+// TestFeaturedZeroIsNewEngine: a zero Features must not perturb the base
+// generator's output.
+func TestFeaturedZeroIsNewEngine(t *testing.T) {
+	a := NewEngine(42, 5, true)
+	b := NewEngineFeatured(42, 5, true, Features{})
+	for q := 0; q < 4; q++ {
+		if a.Page(q).HTML != b.Page(q).HTML {
+			t.Fatalf("page %d: zero-feature engine differs from NewEngine", q)
+		}
+	}
+}
+
+// TestFeatureCJK: with CJK set, record titles and snippets come from the
+// CJK pools and no latin title word leaks through.
+func TestFeatureCJK(t *testing.T) {
+	e := NewEngineFeatured(7, 1, true, Features{CJK: true})
+	p := e.Page(0)
+	if len(p.Truth.Sections) == 0 {
+		t.Fatal("no sections")
+	}
+	sawCJK := false
+	for _, s := range p.Truth.Sections {
+		for _, r := range s.Records {
+			text := strings.Join(r.Lines, " ")
+			for _, w := range cjkTitleWords {
+				if strings.Contains(text, w) {
+					sawCJK = true
+				}
+			}
+			for _, w := range titleWords {
+				if strings.Contains(text, " "+w+" ") {
+					t.Fatalf("latin title word %q in CJK record lines %q", w, text)
+				}
+			}
+		}
+	}
+	if !sawCJK {
+		t.Fatal("no CJK title words found in any record")
+	}
+}
+
+// TestFeatureMissingHeadings: every section loses its LBM, so the rendered
+// page carries no section heading text.
+func TestFeatureMissingHeadings(t *testing.T) {
+	e := NewEngineFeatured(7, 2, true, Features{MissingHeadings: true})
+	for _, ss := range e.Schema.Sections {
+		if ss.HasLBM || ss.Heading != "" {
+			t.Fatalf("section %d still has heading %q (HasLBM=%v)", ss.Index, ss.Heading, ss.HasLBM)
+		}
+	}
+	p := e.Page(0)
+	for _, s := range p.Truth.Sections {
+		if s.Heading != "" {
+			t.Fatalf("ground truth section has heading %q", s.Heading)
+		}
+	}
+}
+
+// TestFeatureDeepNesting: requesting deep nesting inflates the page's div
+// depth relative to the unfeatured engine, and the cap holds.
+func TestFeatureDeepNesting(t *testing.T) {
+	base := NewEngine(7, 3, true)
+	deep := NewEngineFeatured(7, 3, true, Features{DeepNesting: 5})
+	b, d := base.Page(0).HTML, deep.Page(0).HTML
+	if strings.Count(d, "<div") <= strings.Count(b, "<div") {
+		t.Fatalf("deep nesting did not add div levels: %d vs %d",
+			strings.Count(d, "<div"), strings.Count(b, "<div"))
+	}
+	capped := NewEngineFeatured(7, 3, true, Features{DeepNesting: 99})
+	if capped.Schema.DeepNesting != maxDeepNesting {
+		t.Fatalf("DeepNesting not capped: %d", capped.Schema.DeepNesting)
+	}
+}
+
+// TestFeatureHiddenSections: secondary sections become query-class-gated,
+// so some pages omit them while others include them.
+func TestFeatureHiddenSections(t *testing.T) {
+	e := NewEngineFeatured(7, 4, true, Features{HiddenSections: true})
+	if len(e.Schema.Sections) < 2 {
+		t.Skip("engine drew a single section")
+	}
+	counts := map[int]int{}
+	const pages = 40
+	for q := 0; q < pages; q++ {
+		for _, s := range e.Page(q).Truth.Sections {
+			counts[s.SchemaIndex]++
+		}
+	}
+	hidden := false
+	for _, ss := range e.Schema.Sections[1:] {
+		if n := counts[ss.Index]; n > 0 && n < pages {
+			hidden = true
+		}
+	}
+	if !hidden {
+		t.Fatalf("no secondary section was query-dependent: %v", counts)
+	}
+}
+
+// TestRevealedShowsHiddenSections: Revealed() makes every hidden section
+// permanent — each page past the reveal carries every schema section.
+func TestRevealedShowsHiddenSections(t *testing.T) {
+	e := NewEngineFeatured(7, 4, true, Features{HiddenSections: true})
+	r := e.Revealed()
+	for q := 0; q < 10; q++ {
+		if got, want := len(r.Page(q).Truth.Sections), len(r.Schema.Sections); got != want {
+			t.Fatalf("page %d: %d sections after reveal, want all %d", q, got, want)
+		}
+	}
+	// Pure function, original untouched.
+	if e.Schema.Sections[len(e.Schema.Sections)-1].QueryClass < 0 {
+		t.Fatal("Revealed mutated the original schema")
+	}
+	a, b := e.Revealed(), e.Revealed()
+	if a.Page(3).HTML != b.Page(3).HTML {
+		t.Fatal("Revealed not deterministic")
+	}
+}
+
+// TestScheduledEngine: cutovers switch templates at exactly the scheduled
+// query indices and ground truth follows the live template.
+func TestScheduledEngine(t *testing.T) {
+	base := NewEngine(9, 1, true)
+	red := base.Drifted()
+	rev := red.Revealed()
+	s := NewScheduledEngine(base)
+	if err := s.Cutover(10, red); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cutover(20, rev); err != nil {
+		t.Fatal(err)
+	}
+	if s.Phases() != 3 {
+		t.Fatalf("Phases() = %d, want 3", s.Phases())
+	}
+	for _, tc := range []struct{ q, phase int }{
+		{0, 0}, {9, 0}, {10, 1}, {19, 1}, {20, 2}, {100, 2},
+	} {
+		if _, p := s.EngineAt(tc.q); p != tc.phase {
+			t.Fatalf("EngineAt(%d) phase %d, want %d", tc.q, p, tc.phase)
+		}
+	}
+	if s.Page(9).HTML != base.Page(9).HTML {
+		t.Fatal("page 9 not served by base template")
+	}
+	if s.Page(10).HTML != red.Page(10).HTML {
+		t.Fatal("page 10 not served by first cutover")
+	}
+	if s.Page(25).HTML != rev.Page(25).HTML {
+		t.Fatal("page 25 not served by second cutover")
+	}
+	// Out-of-order cutovers are rejected.
+	if err := s.Cutover(15, base); err == nil {
+		t.Fatal("out-of-order cutover accepted")
+	}
+	if err := s.Cutover(20, base); err == nil {
+		t.Fatal("duplicate cutover index accepted")
+	}
+}

@@ -165,6 +165,17 @@ func (b *pageBuilder) buildSection(ss *SectionSchema) {
 	if count == 0 {
 		return // hidden on this page
 	}
+	// Deep nesting wraps the whole section (heading included) in extra
+	// container levels; the content lines are unchanged, only the tag
+	// trees above them deepen.
+	for i := 0; i < b.engine.Schema.DeepNesting; i++ {
+		fmt.Fprintf(&b.html, `<div class="w%d">`+"\n", i)
+	}
+	defer func() {
+		for i := 0; i < b.engine.Schema.DeepNesting; i++ {
+			b.html.WriteString("</div>\n")
+		}
+	}()
 	gts := GTSection{SchemaIndex: ss.Index, Heading: ss.Heading}
 	if ss.HasLBM {
 		b.html.WriteString(headingHTML(ss.HeadingStyle, ss.Heading))
@@ -282,7 +293,11 @@ func (b *pageBuilder) makeRecord(ss *SectionSchema, idx int) genRecord {
 	}
 
 	// --- title line ---
-	titleTxt := pick(b.rng, titleWords) + " " + pick(b.rng, titleWords)
+	titles, snippets := titleWords, snippetWords
+	if b.engine.Schema.CJK {
+		titles, snippets = cjkTitleWords, cjkSnippetWords
+	}
+	titleTxt := pick(b.rng, titles) + " " + pick(b.rng, titles)
 	if b.rng.Float64() < 0.6 {
 		titleTxt += " " + q[b.rng.Intn(2)]
 	}
@@ -328,7 +343,7 @@ func (b *pageBuilder) makeRecord(ss *SectionSchema, idx int) genRecord {
 		words := make([]string, 0, 10)
 		n := 6 + b.rng.Intn(5)
 		for w := 0; w < n; w++ {
-			words = append(words, pick(b.rng, snippetWords))
+			words = append(words, pick(b.rng, snippets))
 		}
 		if b.rng.Float64() < 0.5 {
 			words[b.rng.Intn(len(words))] = q[b.rng.Intn(2)]

@@ -182,6 +182,12 @@ type PageSchema struct {
 	// where every section has the same tag structure and only the SBMs
 	// distinguish them).  Only used with TableStyle schemas.
 	Flat bool
+	// CJK draws record titles, snippets and headings from the CJK word
+	// pools instead of the latin ones (the i18n difficulty feature).
+	CJK bool
+	// DeepNesting wraps every dynamic section's markup in this many extra
+	// <div> levels, deepening the tag trees the miner must align.
+	DeepNesting int
 }
 
 // Engine is one synthetic search engine.

@@ -58,6 +58,31 @@ var falseSBMTexts = []string{
 	"Add to cart", "Compare prices",
 }
 
+// CJK word pools: the i18n difficulty feature.  Record titles, snippets
+// and section headings drawn from these pools have no ASCII word breaks,
+// so tag-structure mining must work without any latin-text regularities
+// (the vision-backend ablation of ROADMAP item 2 needs exactly this bed).
+var cjkTitleWords = []string{
+	"完全指南", "最新研究", "専門家評論", "実用手冊", "総合報告", "入門講座",
+	"健康情報", "技術分析", "市場動向", "臨床試験", "学術論文", "年度総括",
+	"深度解説", "快速入門", "権威発表", "精選推薦",
+}
+
+var cjkSnippetWords = []string{
+	"研究によると", "患者は", "早期治療で", "改善が見られ", "専門家は",
+	"バランスの取れた", "アプローチを", "推奨しています", "最新の知見は",
+	"多くの症例で", "良好な結果を", "示しました", "定期的な検査と",
+	"慎重な経過観察が", "重要です", "今年発表された", "主要な研究者による",
+	"調査結果", "臨床データは", "有意な差を",
+}
+
+var cjkSectionHeadings = []string{
+	"百科事典", "ニュース", "ウェブ検索結果", "スポンサー", "製品情報",
+	"記事一覧", "レビュー", "ディスカッション", "画像", "動画", "書籍",
+	"地域の結果", "ショッピング", "関連検索", "ブログ", "専門家",
+	"健康情報局", "医療相談", "資料室", "ディレクトリ",
+}
+
 // markerAlphabet encodes marker identifiers without digits (digits would
 // be stripped by DSE's dynamic-component cleaning and could collide across
 // records).  Only a..m are used, so 'z' can serve as an unambiguous
